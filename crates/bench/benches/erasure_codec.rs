@@ -1,0 +1,26 @@
+//! Microbenchmarks of the from-scratch Reed-Solomon codec used by CAS.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legostore_erasure::{decode_value, encode_value};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure_codec");
+    for &(n, k) in &[(5usize, 3usize), (4, 2), (8, 1), (9, 6)] {
+        for &size in &[1024usize, 10 * 1024, 100 * 1024] {
+            let value = vec![0xA5u8; size];
+            group.bench_function(format!("encode_n{n}_k{k}_{size}B"), |b| {
+                b.iter(|| encode_value(black_box(&value), n, k).unwrap())
+            });
+            let shards = encode_value(&value, n, k).unwrap();
+            // Decode from the last k shards (forces matrix inversion, the worst case).
+            let subset: Vec<_> = shards[n - k..].to_vec();
+            group.bench_function(format!("decode_n{n}_k{k}_{size}B"), |b| {
+                b.iter(|| decode_value(black_box(&subset), n, k).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

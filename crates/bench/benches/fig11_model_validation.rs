@@ -1,0 +1,20 @@
+//! Figure 11: the worst-case latency model versus simulator measurements, with and without
+//! a failed data center.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::sim_studies as sim;
+use std::time::Duration;
+
+fn bench_fig11(c: &mut Criterion) {
+    let rows = sim::model_validation(30_000.0, 50.0, 3);
+    println!("{}", sim::render_model_validation(&rows));
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("model_validation_10s", |b| {
+        b.iter(|| sim::model_validation(10_000.0, 30.0, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

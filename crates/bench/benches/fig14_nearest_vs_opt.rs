@@ -1,0 +1,22 @@
+//! Figure 14 / Appendix G.2: choosing the nearest data centers can waste money.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::optimizer_studies as opt;
+use std::time::Duration;
+
+fn bench_fig14(c: &mut Criterion) {
+    println!("{}", opt::render_nearest_vs_optimal(&opt::nearest_vs_optimal()));
+    for row in opt::ec_vs_replication_latency() {
+        println!(
+            "§4.2.5 f={} {}: {} GET {:.0} ms, ${:.4}/h",
+            row.f, row.family, row.config, row.get_latency_ms, row.cost_per_hour
+        );
+    }
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("nearest_vs_optimal", |b| b.iter(opt::nearest_vs_optimal));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 1: cumulative distribution of baseline cost normalized by the optimizer's cost
+//! over the basic workload grid (subsampled for benchmarking; run the `experiments` binary
+//! for the full 567-workload grid).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::optimizer_studies as opt;
+use std::time::Duration;
+
+fn bench_fig1(c: &mut Criterion) {
+    // Print a representative (subsampled) rendering once for both SLOs of Figure 1.
+    for slo in [1000.0, 200.0] {
+        println!("{}", opt::baseline_cdf(slo, 1, 48).render());
+    }
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("baseline_cdf_subsampled_slo1s", |b| {
+        b.iter(|| opt::baseline_cdf(1000.0, 1, 200))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 2: sensitivity of the optimizer's protocol choice to the latency SLO.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::optimizer_studies as opt;
+use legostore_workload::ClientDistribution;
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let slos: Vec<f64> = vec![100.0, 200.0, 400.0, 575.0, 700.0, 1000.0];
+    let dists = [
+        ClientDistribution::Tokyo,
+        ClientDistribution::SydneyTokyo,
+        ClientDistribution::Uniform,
+    ];
+    let rows = opt::slo_sensitivity(1, &[1024, 10 * 1024], &slos, &dists);
+    println!("{}", opt::render_slo_sensitivity(&rows));
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("slo_sensitivity_1kb_tokyo", |b| {
+        b.iter(|| opt::slo_sensitivity(1, &[1024], &[200.0, 1000.0], &[ClientDistribution::Tokyo]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

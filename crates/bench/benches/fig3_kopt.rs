@@ -1,0 +1,20 @@
+//! Figure 3: cost is non-monotonic in K; Kopt grows with object size and shrinks with
+//! arrival rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::optimizer_studies as opt;
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("{}", opt::kopt_study(7).render());
+    for (size, model_k, search_k) in opt::kopt_model_validation() {
+        println!("Eq.4 validation: object {size} B -> analytic Kopt {model_k:.1}, optimizer K {search_k}");
+    }
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("kopt_study_small", |b| b.iter(|| opt::kopt_study(3)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 4: latency stays flat as the per-key arrival rate (and hence concurrency) grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::sim_studies as sim;
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let rates = [20.0, 40.0, 60.0, 80.0, 100.0];
+    for (label, rho) in [("RW", 0.5), ("HW", 1.0 / 31.0)] {
+        println!("-- read ratio {label}");
+        let points = sim::concurrency_robustness(&rates, rho, 20_000.0, 42);
+        println!("{}", sim::render_concurrency(&points));
+    }
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("simulate_20s_at_60rps", |b| {
+        b.iter(|| sim::concurrency_robustness(&[60.0], 0.5, 20_000.0, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 5: agile reconfiguration under a 4x load increase and a DC failure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::sim_studies as sim;
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    // Compressed timeline (x0.1 of the paper's 500 s scenario) with 10 keys.
+    let result =
+        sim::reconfiguration_scenario(10, 20_000.0, 36_000.0, 40_000.0, 50_000.0, 60.0, 7);
+    println!("{}", result.render());
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("reconfig_scenario_small", |b| {
+        b.iter(|| sim::reconfiguration_scenario(3, 4_000.0, 8_000.0, 10_000.0, 14_000.0, 30.0, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Microbenchmarks of the ABD and CAS protocol state machines (no network): the cost of a
+//! complete PUT/GET message exchange against in-memory per-key server states.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legostore_proto::abd::AbdKeyState;
+use legostore_proto::cas::initial_cas_states;
+use legostore_proto::msg::{OpOutcome, OpProgress};
+use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
+use legostore_types::{ClientId, Configuration, DcId, Key, Tag, Value};
+use std::collections::BTreeMap;
+
+fn dcs(n: usize) -> Vec<DcId> {
+    (0..n).map(DcId::from).collect()
+}
+
+fn run_abd_pair(servers: &mut BTreeMap<DcId, AbdKeyState>, config: &Configuration, payload: &Value) {
+    let mut put = AbdPut::new(Key::from("k"), config.clone(), DcId(0), ClientId(1), payload.clone());
+    let mut inflight = put.start();
+    loop {
+        let out = inflight.remove(0);
+        let reply = servers.get_mut(&out.to).unwrap().handle(&out.msg);
+        match put.on_reply(out.to, out.phase, reply) {
+            OpProgress::Pending => {}
+            OpProgress::Send(more) => inflight.extend(more),
+            OpProgress::Done(_) => break,
+        }
+    }
+    let mut get = AbdGet::new(Key::from("k"), config.clone(), DcId(0), true);
+    let mut inflight = get.start();
+    loop {
+        let out = inflight.remove(0);
+        let reply = servers.get_mut(&out.to).unwrap().handle(&out.msg);
+        match get.on_reply(out.to, out.phase, reply) {
+            OpProgress::Pending => {}
+            OpProgress::Send(more) => inflight.extend(more),
+            OpProgress::Done(OpOutcome::GetOk { .. }) => break,
+            OpProgress::Done(_) => panic!("unexpected outcome"),
+        }
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_state_machines");
+    for &size in &[1024usize, 16 * 1024] {
+        let payload = Value::filler(size);
+        let abd = Configuration::abd_majority(dcs(3), 1);
+        let mut abd_servers: BTreeMap<DcId, AbdKeyState> = abd
+            .dcs
+            .iter()
+            .map(|d| (*d, AbdKeyState::new(Tag::INITIAL, payload.clone())))
+            .collect();
+        group.bench_function(format!("abd_put_get_{size}B"), |b| {
+            b.iter(|| run_abd_pair(black_box(&mut abd_servers), &abd, &payload))
+        });
+
+        let cas = Configuration::cas_default(dcs(5), 3, 1);
+        let mut cas_servers = initial_cas_states(&cas, &payload);
+        group.bench_function(format!("cas_put_get_{size}B"), |b| {
+            b.iter(|| {
+                let mut put = CasPut::new(Key::from("k"), cas.clone(), DcId(0), ClientId(1), payload.clone());
+                let mut inflight = put.start();
+                loop {
+                    let out = inflight.remove(0);
+                    let reply = cas_servers.get_mut(&out.to).unwrap().handle(&out.msg);
+                    match put.on_reply(out.to, out.phase, reply) {
+                        OpProgress::Pending => {}
+                        OpProgress::Send(more) => inflight.extend(more),
+                        OpProgress::Done(_) => break,
+                    }
+                }
+                let mut get = CasGet::new(Key::from("k"), cas.clone(), DcId(0), None);
+                let mut inflight = get.start();
+                loop {
+                    let out = inflight.remove(0);
+                    let reply = cas_servers.get_mut(&out.to).unwrap().handle(&out.msg);
+                    match get.on_reply(out.to, out.phase, reply) {
+                        OpProgress::Pending => {}
+                        OpProgress::Send(more) => inflight.extend(more),
+                        OpProgress::Done(_) => break,
+                    }
+                }
+                // Keep server-side history bounded so iteration time stays constant.
+                for s in cas_servers.values_mut() {
+                    s.garbage_collect(1);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 3: coarse per-operation cost comparison of ABD vs CAS. The rendered table is
+//! printed once; the benchmark times the underlying cost-model evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legostore_bench::experiments::optimizer_studies as opt;
+use legostore_cloud::CloudModel;
+use legostore_optimizer::cost::cost_of;
+use legostore_types::{Configuration, DcId};
+use legostore_workload::WorkloadSpec;
+
+fn bench_table3(c: &mut Criterion) {
+    println!("{}", opt::table3(1024));
+    let model = CloudModel::gcp9();
+    let spec = WorkloadSpec::example();
+    let abd = Configuration::abd_majority((0..3).map(DcId::from).collect(), 1);
+    let cas = Configuration::cas_default((0..5).map(DcId::from).collect(), 3, 1);
+    c.bench_function("table3/cost_model_eval", |b| {
+        b.iter(|| {
+            let a = cost_of(black_box(&model), black_box(&spec), black_box(&abd));
+            let c2 = cost_of(black_box(&model), black_box(&spec), black_box(&cas));
+            (a.total(), c2.total())
+        })
+    });
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p legostore-bench --bin experiments -- all
+//! cargo run --release -p legostore-bench --bin experiments -- fig1 fig3 fig5
+//! cargo run --release -p legostore-bench --bin experiments -- fig1 --quick
+//! ```
+//!
+//! `--quick` subsamples the workload grids so every experiment finishes in seconds; without
+//! it the full grids of the paper are evaluated.
+
+use legostore_bench::experiments::{optimizer_studies as opt, sim_studies as sim};
+
+struct Settings {
+    quick: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if selected.is_empty() || selected.iter().any(|a| a == "all") {
+        selected = vec![
+            "tables", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "kopt", "ec", "gc",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+    let settings = Settings { quick };
+    for name in selected {
+        run_experiment(&name, &settings);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn run_experiment(name: &str, s: &Settings) {
+    match name {
+        "tables" => {
+            banner("Tables 1 & 2: embedded GCP prices and RTTs");
+            println!("{}", opt::table_inputs());
+        }
+        "table3" => {
+            banner("Table 3: coarse ABD vs CAS comparison");
+            println!("{}", opt::table3(1024));
+        }
+        "fig1" => {
+            banner("Figure 1: baseline normalized-cost CDFs, f = 1");
+            let stride = if s.quick { 24 } else { 1 };
+            for slo in [1000.0, 200.0] {
+                let cdf = opt::baseline_cdf(slo, 1, stride);
+                println!("{}", cdf.render());
+            }
+        }
+        "fig12" => {
+            banner("Figure 12: baseline normalized-cost CDFs, f = 2");
+            let stride = if s.quick { 24 } else { 1 };
+            for slo in [1000.0, 300.0] {
+                let cdf = opt::baseline_cdf(slo, 2, stride);
+                println!("{}", cdf.render());
+            }
+        }
+        "fig2" | "fig13" => {
+            let f = if name == "fig2" { 1 } else { 2 };
+            banner(&format!("Figure {}: optimizer choice vs latency SLO, f = {f}", if f == 1 { 2 } else { 13 }));
+            let slos: Vec<f64> = if s.quick {
+                vec![200.0, 400.0, 700.0, 1000.0]
+            } else {
+                (1..=20).map(|i| 50.0 * i as f64).collect()
+            };
+            let dists = if s.quick {
+                vec![
+                    legostore_workload::ClientDistribution::Tokyo,
+                    legostore_workload::ClientDistribution::SydneyTokyo,
+                    legostore_workload::ClientDistribution::Uniform,
+                ]
+            } else {
+                legostore_workload::ClientDistribution::ALL.to_vec()
+            };
+            let rows = opt::slo_sensitivity(f, &[1024, 10 * 1024], &slos, &dists);
+            println!("{}", opt::render_slo_sensitivity(&rows));
+        }
+        "fig3" => {
+            banner("Figure 3: cost vs K and Kopt trends");
+            let study = opt::kopt_study(if s.quick { 5 } else { 7 });
+            println!("{}", study.render());
+        }
+        "kopt" => {
+            banner("Eq. 4 analytical model vs optimizer");
+            for (size, model_k, search_k) in opt::kopt_model_validation() {
+                println!("object {size:>6} B: analytic Kopt = {model_k:.1}, optimizer K = {search_k}");
+            }
+        }
+        "fig4" => {
+            banner("Figure 4: latency robustness under concurrent access");
+            let duration = if s.quick { 10_000.0 } else { 60_000.0 };
+            for (label, rho) in [("RW (50% reads)", 0.5), ("HW (3.2% reads)", 1.0 / 31.0)] {
+                println!("-- {label}");
+                let rates = [20.0, 40.0, 60.0, 80.0, 100.0];
+                let points = sim::concurrency_robustness(&rates, rho, duration, 42);
+                println!("{}", sim::render_concurrency(&points));
+            }
+        }
+        "fig5" => {
+            banner("Figure 5: reconfiguration under load change and DC failure");
+            let scale = if s.quick { 0.05 } else { 0.25 };
+            let result = sim::reconfiguration_scenario(
+                if s.quick { 5 } else { 20 },
+                200_000.0 * scale,
+                360_000.0 * scale,
+                400_000.0 * scale,
+                500_000.0 * scale,
+                if s.quick { 40.0 } else { 100.0 },
+                7,
+            );
+            println!("{}", result.render());
+        }
+        "fig6" => {
+            banner("Figure 6: Wikipedia hot key reconfiguration");
+            let result = sim::wikipedia_key_scenario(if s.quick { 20_000.0 } else { 600_000.0 }, 13);
+            println!("{}", result.render());
+            if let Some((t1, t2)) = opt::wikipedia_hot_key_choices() {
+                println!(
+                    "optimizer choice: T1 {} (${:.4}/h) -> T2 {} (${:.4}/h)",
+                    t1.config.describe(),
+                    t1.total_cost(),
+                    t2.config.describe(),
+                    t2.total_cost()
+                );
+            }
+        }
+        "fig11" => {
+            banner("Figure 11: predicted vs measured latency (and under LA failure)");
+            let duration = if s.quick { 10_000.0 } else { 60_000.0 };
+            let rows = sim::model_validation(duration, 50.0, 3);
+            println!("{}", sim::render_model_validation(&rows));
+        }
+        "fig14" => {
+            banner("Figure 14: nearest placements vs the optimizer (Sydney+Tokyo HR)");
+            let rows = opt::nearest_vs_optimal();
+            println!("{}", opt::render_nearest_vs_optimal(&rows));
+        }
+        "fig15" => {
+            banner("Figure 15: Wikipedia-derived keys, baseline normalized-cost CDF");
+            let keys = if s.quick { 100 } else { 1550 };
+            let cdf = opt::wikipedia_cdf(keys);
+            println!("{}", cdf.render());
+        }
+        "ec" => {
+            banner("§4.2.5: EC at comparable latency, lower cost (Tokyo HR)");
+            for row in opt::ec_vs_replication_latency() {
+                println!(
+                    "f={} {}: {} GET latency {:.0} ms, cost ${:.4}/h",
+                    row.f, row.family, row.config, row.get_latency_ms, row.cost_per_hour
+                );
+            }
+        }
+        "gc" => {
+            banner("Appendix F: garbage-collection overhead");
+            let (v_no, b_no, v_gc, b_gc) = sim::gc_overhead(1000, 1024, 50);
+            println!(
+                "without GC: {v_no} versions, {b_no} bytes/server; with GC every 50 PUTs: {v_gc} versions, {b_gc} bytes/server"
+            );
+        }
+        other => eprintln!("unknown experiment '{other}' (try: all, tables, table3, fig1..fig15, kopt, ec, gc)"),
+    }
+}

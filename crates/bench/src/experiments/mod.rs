@@ -1,0 +1,4 @@
+//! All experiments, grouped by the machinery they exercise.
+
+pub mod optimizer_studies;
+pub mod sim_studies;

@@ -1,0 +1,686 @@
+//! Experiments driven purely by the optimizer and its cost model: Table 3, Figures 1–3,
+//! 12–15, the Kopt analytical model and the §4.2.5 EC-vs-replication latency study.
+
+use legostore_cloud::{CloudModel, GcpLocation};
+use legostore_optimizer::analytic::coarse_comparison;
+use legostore_optimizer::baselines::{evaluate_baseline, Baseline};
+use legostore_optimizer::cost::CostBreakdown;
+use legostore_optimizer::plan::Plan;
+use legostore_optimizer::search::{Objective, Optimizer, ProtocolFilter, SearchOptions};
+use legostore_optimizer::AnalyticModel;
+use legostore_types::DcId;
+use legostore_workload::{
+    basic_workloads, client_distribution, synthesize_wikipedia, ClientDistribution, ReadRatio,
+    WorkloadSpec,
+};
+
+/// Builds a workload spec against the gcp9 model with the given knobs.
+pub fn spec(
+    model: &CloudModel,
+    dist: ClientDistribution,
+    object_size: u64,
+    read_ratio: f64,
+    arrival_rate: f64,
+    total_data_bytes: u64,
+    slo_ms: f64,
+    f: usize,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("{}-{}B-{}rps", dist.label(), object_size, arrival_rate),
+        object_size,
+        metadata_size: legostore_cloud::METADATA_BYTES,
+        read_ratio,
+        arrival_rate,
+        total_data_bytes,
+        client_distribution: client_distribution(dist, model),
+        slo_get_ms: slo_ms,
+        slo_put_ms: slo_ms,
+        fault_tolerance: f,
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------------------------
+
+/// Renders Table 3 (coarse ABD vs CAS comparison) for the paper's canonical parameters.
+pub fn table3(value_bytes: u64) -> String {
+    let (cas, abd) = coarse_comparison(5, 3, value_bytes);
+    let (cas31, _) = coarse_comparison(3, 1, value_bytes);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 3: coarse per-operation comparison (B = {value_bytes} bytes)\n"
+    ));
+    out.push_str("system      | PUT cost (B) | PUT rounds | GET cost (B) | GET rounds | storage/server (B)\n");
+    out.push_str(&format!(
+        "CAS(5,3)    | {:12.0} | {:10} | {:12.0} | {:10} | {:14.0}\n",
+        cas.put_cost_bytes, cas.put_latency_rounds, cas.get_cost_bytes, cas.get_latency_rounds, cas.storage_per_server_bytes
+    ));
+    out.push_str(&format!(
+        "CAS(3,1)    | {:12.0} | {:10} | {:12.0} | {:10} | {:14.0}\n",
+        cas31.put_cost_bytes, cas31.put_latency_rounds, cas31.get_cost_bytes, cas31.get_latency_rounds, cas31.storage_per_server_bytes
+    ));
+    out.push_str(&format!(
+        "ABD(3)      | {:12.0} | {:10} | {:12.0} | {:10} | {:14.0}\n",
+        abd.put_cost_bytes * 3.0 / 5.0, // ABD at N=3
+        abd.put_latency_rounds,
+        (3.0 - 1.0) * value_bytes as f64,
+        abd.get_latency_rounds,
+        abd.storage_per_server_bytes
+    ));
+    out
+}
+
+/// Renders Tables 1 and 2 (the embedded GCP price and RTT data).
+pub fn table_inputs() -> String {
+    let model = CloudModel::gcp9();
+    let mut out = String::new();
+    out.push_str("Table 1: storage ($/GB-month) and VM ($/hour) prices\n");
+    for dc in model.dcs() {
+        out.push_str(&format!(
+            "{:12} storage={:.3} vm={:.4}\n",
+            dc.name, dc.storage_price_gb_month, dc.vm_price_hour
+        ));
+    }
+    out.push_str("\nTable 2: RTT (ms) / network price ($/GB), row = source, column = destination\n");
+    for i in model.dc_ids() {
+        let row: Vec<String> = model
+            .dc_ids()
+            .iter()
+            .map(|j| format!("{:3.0}/{:.2}", model.rtt_ms(i, *j), model.net_price_gb(i, *j)))
+            .collect();
+        out.push_str(&format!("{:12} {}\n", model.dc(i).name, row.join(" ")));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------------------
+// Figures 1 and 12: baseline normalized-cost CDFs over the basic workload grid
+// ---------------------------------------------------------------------------------------
+
+/// Result of the Figure 1 / Figure 12 style experiments.
+#[derive(Debug, Clone)]
+pub struct BaselineCdf {
+    /// Latency SLO used for both GETs and PUTs (ms).
+    pub slo_ms: f64,
+    /// Fault tolerance.
+    pub f: usize,
+    /// Number of workloads evaluated.
+    pub workloads: usize,
+    /// For each baseline: the normalized costs (baseline / optimizer) of the workloads where
+    /// the baseline was feasible.
+    pub normalized: Vec<(Baseline, Vec<f64>)>,
+}
+
+impl BaselineCdf {
+    /// Number of workloads for which `baseline` met the SLO.
+    pub fn feasible(&self, baseline: Baseline) -> usize {
+        self.normalized
+            .iter()
+            .find(|(b, _)| *b == baseline)
+            .map(|(_, v)| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Median normalized cost of `baseline` (1.0 means it matches the optimizer).
+    pub fn median(&self, baseline: Baseline) -> f64 {
+        let mut v = self
+            .normalized
+            .iter()
+            .find(|(b, _)| *b == baseline)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    /// Cumulative count of workloads whose normalized cost is at most `x`.
+    pub fn cumulative_at(&self, baseline: Baseline, x: f64) -> usize {
+        self.normalized
+            .iter()
+            .find(|(b, _)| *b == baseline)
+            .map(|(_, v)| v.iter().filter(|c| **c <= x + 1e-9).count())
+            .unwrap_or(0)
+    }
+
+    /// Text rendering: the cumulative counts at a few normalized-cost thresholds.
+    pub fn render(&self) -> String {
+        let thresholds = [1.0, 1.2, 1.5, 2.0, 2.5, 3.0, 4.0];
+        let mut out = format!(
+            "Figure 1-style CDF: {} workloads, SLO = {} ms, f = {}\n",
+            self.workloads, self.slo_ms, self.f
+        );
+        out.push_str("baseline          | feasible | median |");
+        for t in thresholds {
+            out.push_str(&format!(" <={t:>4} |"));
+        }
+        out.push('\n');
+        for (b, _) in &self.normalized {
+            out.push_str(&format!(
+                "{:18}| {:8} | {:6.2} |",
+                b.label(),
+                self.feasible(*b),
+                self.median(*b)
+            ));
+            for t in thresholds {
+                out.push_str(&format!(" {:5} |", self.cumulative_at(*b, t)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Figure 1 (f=1) / Figure 12 (f=2): evaluates the optimizer and every baseline over the
+/// basic workload grid and normalizes baseline costs by the optimizer's.
+///
+/// `stride` subsamples the 567-workload grid (1 = full grid); benches use larger strides.
+pub fn baseline_cdf(slo_ms: f64, f: usize, stride: usize) -> BaselineCdf {
+    let model = CloudModel::gcp9();
+    let grid = basic_workloads(&model, slo_ms, slo_ms, f);
+    let optimizer = Optimizer::new(model.clone());
+    let mut normalized: Vec<(Baseline, Vec<f64>)> =
+        Baseline::ALL.iter().map(|b| (*b, Vec::new())).collect();
+    let mut count = 0;
+    for w in grid.iter().step_by(stride.max(1)) {
+        let Some(optimal) = optimizer.optimize(w) else { continue };
+        count += 1;
+        for (b, values) in normalized.iter_mut() {
+            if let Some(plan) = evaluate_baseline(&model, w, *b) {
+                values.push(plan.total_cost() / optimal.total_cost());
+            }
+        }
+    }
+    BaselineCdf {
+        slo_ms,
+        f,
+        workloads: count,
+        normalized,
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Figures 2 and 13: optimizer choice vs latency SLO
+// ---------------------------------------------------------------------------------------
+
+/// One cell of the Figure 2 / 13 sensitivity matrix.
+#[derive(Debug, Clone)]
+pub struct SloChoice {
+    /// Object size in bytes.
+    pub object_size: u64,
+    /// Read-ratio preset label.
+    pub read_ratio: &'static str,
+    /// Client distribution label.
+    pub distribution: &'static str,
+    /// Latency SLO in ms.
+    pub slo_ms: f64,
+    /// The optimizer's choice, e.g. `"ABD(3)"`, `"CAS(5,3)"`, or `"infeasible"`.
+    pub choice: String,
+}
+
+/// Figure 2 (f=1) / Figure 13 (f=2): the optimizer's protocol choice as the SLO sweeps from
+/// stringent to relaxed, for two object sizes, all read ratios and client distributions.
+pub fn slo_sensitivity(
+    f: usize,
+    object_sizes: &[u64],
+    slos_ms: &[f64],
+    distributions: &[ClientDistribution],
+) -> Vec<SloChoice> {
+    let model = CloudModel::gcp9();
+    let optimizer = Optimizer::new(model.clone());
+    let mut out = Vec::new();
+    for &object_size in object_sizes {
+        for ratio in ReadRatio::ALL {
+            for dist in distributions {
+                for &slo in slos_ms {
+                    let w = spec(&model, *dist, object_size, ratio.rho(), 500.0, 1 << 40, slo, f);
+                    let choice = optimizer
+                        .optimize(&w)
+                        .map(|p| p.config.describe())
+                        .unwrap_or_else(|| "infeasible".to_string());
+                    out.push(SloChoice {
+                        object_size,
+                        read_ratio: ratio.label(),
+                        distribution: dist.label(),
+                        slo_ms: slo,
+                        choice,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the SLO-sensitivity matrix grouped by (object size, read ratio, distribution).
+pub fn render_slo_sensitivity(rows: &[SloChoice]) -> String {
+    let mut out = String::new();
+    let mut last_key = String::new();
+    for r in rows {
+        let key = format!("{}B {} {}", r.object_size, r.read_ratio, r.distribution);
+        if key != last_key {
+            out.push_str(&format!("\n{key}:\n"));
+            last_key = key;
+        }
+        out.push_str(&format!("  SLO {:>5.0} ms -> {}\n", r.slo_ms, r.choice));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------------------
+// Figure 3: cost vs K, Kopt vs object size, Kopt vs arrival rate
+// ---------------------------------------------------------------------------------------
+
+/// Results for the three panels of Figure 3.
+#[derive(Debug, Clone)]
+pub struct KoptStudy {
+    /// (K, cost breakdown) for the fixed Figure 3(a) workload; infeasible Ks are omitted.
+    pub cost_vs_k: Vec<(usize, CostBreakdown)>,
+    /// (object size, optimal K) for Figure 3(b).
+    pub kopt_vs_object_size: Vec<(u64, usize)>,
+    /// (arrival rate, optimal K) for Figure 3(c).
+    pub kopt_vs_arrival_rate: Vec<(f64, usize)>,
+}
+
+fn best_cas_k(model: &CloudModel, w: &WorkloadSpec, max_k: usize) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for k in 1..=max_k {
+        let optimizer = Optimizer::with_options(
+            model.clone(),
+            SearchOptions {
+                fixed_k: Some(k),
+                ..Default::default()
+            },
+        );
+        if let Some(plan) = optimizer.optimize_filtered(w, ProtocolFilter::CasOnly) {
+            let cost = plan.total_cost();
+            if best.map(|(_, c)| cost < c).unwrap_or(true) {
+                best = Some((k, cost));
+            }
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+/// Figure 3: the workload is 1 KB objects, 1 TB datastore, RW mix, users in Sydney and
+/// Tokyo, 1 s SLO, f = 1 (arrival rate 200 req/s for panel (a)).
+pub fn kopt_study(max_k: usize) -> KoptStudy {
+    let model = CloudModel::gcp9();
+    let base = spec(
+        &model,
+        ClientDistribution::SydneyTokyo,
+        1024,
+        0.5,
+        200.0,
+        1_000_000_000_000,
+        1000.0,
+        1,
+    );
+    // Panel (a): cost vs K.
+    let mut cost_vs_k = Vec::new();
+    for k in 1..=max_k {
+        let optimizer = Optimizer::with_options(
+            model.clone(),
+            SearchOptions {
+                fixed_k: Some(k),
+                ..Default::default()
+            },
+        );
+        if let Some(plan) = optimizer.optimize_filtered(&base, ProtocolFilter::CasOnly) {
+            cost_vs_k.push((k, plan.cost));
+        }
+    }
+    // Panel (b): Kopt vs object size. The number of stored objects stays fixed (the 1 TB
+    // datastore corresponds to ~10^9 objects of 1 KB), so the storage footprint grows with
+    // the object size just like the network traffic does.
+    let objects = 1_000_000_000u64;
+    let mut kopt_vs_object_size = Vec::new();
+    for &size in &[256u64, 1024, 4096, 16 * 1024, 64 * 1024] {
+        let mut w = base.clone();
+        w.object_size = size;
+        w.total_data_bytes = size * objects;
+        if let Some(k) = best_cas_k(&model, &w, max_k) {
+            kopt_vs_object_size.push((size, k));
+        }
+    }
+    // Panel (c): Kopt vs arrival rate.
+    let mut kopt_vs_arrival_rate = Vec::new();
+    for &rate in &[50.0, 150.0, 250.0, 350.0, 450.0, 550.0] {
+        let mut w = base.clone();
+        w.arrival_rate = rate;
+        if let Some(k) = best_cas_k(&model, &w, max_k) {
+            kopt_vs_arrival_rate.push((rate, k));
+        }
+    }
+    KoptStudy {
+        cost_vs_k,
+        kopt_vs_object_size,
+        kopt_vs_arrival_rate,
+    }
+}
+
+impl KoptStudy {
+    /// Text rendering of all three panels.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 3(a): cost ($/h) vs K (Sydney+Tokyo RW, 1KB, 1TB, 200 req/s)\n");
+        out.push_str("K | storage |     VM |    PUT |    GET |  total\n");
+        for (k, c) in &self.cost_vs_k {
+            out.push_str(&format!(
+                "{k} | {:7.4} | {:6.4} | {:6.4} | {:6.4} | {:6.4}\n",
+                c.storage, c.vm, c.put_network, c.get_network, c.total()
+            ));
+        }
+        out.push_str("\nFigure 3(b): Kopt vs object size\n");
+        for (size, k) in &self.kopt_vs_object_size {
+            out.push_str(&format!("{size:>7} B -> K = {k}\n"));
+        }
+        out.push_str("\nFigure 3(c): Kopt vs arrival rate\n");
+        for (rate, k) in &self.kopt_vs_arrival_rate {
+            out.push_str(&format!("{rate:>5.0} req/s -> K = {k}\n"));
+        }
+        out
+    }
+}
+
+/// Validation of the Eq. 4 analytical model against the full optimizer: for a few object
+/// sizes, compare the model's `Kopt` with the search's best K.
+pub fn kopt_model_validation() -> Vec<(u64, f64, usize)> {
+    let model = CloudModel::gcp9();
+    let analytic = AnalyticModel::from_cloud(&model).with_footprint(1e12, 1024.0);
+    let mut out = Vec::new();
+    for &size in &[1024u64, 4096, 16 * 1024] {
+        let w = spec(
+            &model,
+            ClientDistribution::SydneyTokyo,
+            size,
+            0.5,
+            200.0,
+            1_000_000_000_000,
+            1000.0,
+            1,
+        );
+        let model_k = analytic.k_opt(size as f64, 200.0, 1);
+        let search_k = best_cas_k(&model, &w, 7).unwrap_or(0);
+        out.push((size, model_k, search_k));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------------------
+// Figure 14 / §G.2: nearest DCs are not always the right choice
+// ---------------------------------------------------------------------------------------
+
+/// One bar group of Figure 14(b).
+#[derive(Debug, Clone)]
+pub struct NearestVsOptimalRow {
+    /// System name.
+    pub name: String,
+    /// The chosen configuration.
+    pub config: String,
+    /// Cost breakdown ($/hour).
+    pub cost: CostBreakdown,
+    /// Worst-case GET latency (ms).
+    pub get_latency_ms: f64,
+    /// Worst-case PUT latency (ms).
+    pub put_latency_ms: f64,
+}
+
+/// Figure 14: HR workload, 50% Sydney / 50% Tokyo, 1 KB objects, 1 s SLO, f = 1; compares
+/// `ABD Nearest`, `CAS Nearest` and the optimizer.
+pub fn nearest_vs_optimal() -> Vec<NearestVsOptimalRow> {
+    let model = CloudModel::gcp9();
+    let w = spec(
+        &model,
+        ClientDistribution::SydneyTokyo,
+        1024,
+        30.0 / 31.0,
+        500.0,
+        1_000_000_000, // 1M objects of 1KB
+        1000.0,
+        1,
+    );
+    let mut rows = Vec::new();
+    let mut push = |name: &str, plan: Option<Plan>| {
+        if let Some(p) = plan {
+            rows.push(NearestVsOptimalRow {
+                name: name.to_string(),
+                config: p.config.describe(),
+                cost: p.cost,
+                get_latency_ms: p.worst_get_latency_ms,
+                put_latency_ms: p.worst_put_latency_ms,
+            });
+        }
+    };
+    push("ABD Nearest", evaluate_baseline(&model, &w, Baseline::AbdNearest));
+    push("CAS Nearest", evaluate_baseline(&model, &w, Baseline::CasNearest));
+    push("Optimizer", Optimizer::new(model.clone()).optimize(&w));
+    rows
+}
+
+/// Renders the Figure 14 comparison.
+pub fn render_nearest_vs_optimal(rows: &[NearestVsOptimalRow]) -> String {
+    let mut out = String::from(
+        "Figure 14: Sydney+Tokyo HR workload — nearest placements vs the optimizer\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:12} {:10} total={:.3} $/h (GET n/w {:.3}, PUT n/w {:.3}, storage {:.3}, VM {:.3}) GET {:.0} ms PUT {:.0} ms\n",
+            r.name,
+            r.config,
+            r.cost.total(),
+            r.cost.get_network,
+            r.cost.put_network,
+            r.cost.storage,
+            r.cost.vm,
+            r.get_latency_ms,
+            r.put_latency_ms
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------------------
+// §4.2.5: EC at comparable latency and lower cost
+// ---------------------------------------------------------------------------------------
+
+/// One row of the §4.2.5 study: the latency-optimal ABD and CAS plans for Tokyo-heavy HR
+/// traffic, for a given fault tolerance.
+#[derive(Debug, Clone)]
+pub struct EcLatencyRow {
+    /// Fault tolerance.
+    pub f: usize,
+    /// Protocol family ("ABD" / "CAS").
+    pub family: &'static str,
+    /// Chosen configuration.
+    pub config: String,
+    /// Worst-case GET latency (ms).
+    pub get_latency_ms: f64,
+    /// Total cost ($/hour).
+    pub cost_per_hour: f64,
+}
+
+/// §4.2.5: users in Tokyo, HR (97% reads), 500 req/s, 1 KB objects, one million objects.
+pub fn ec_vs_replication_latency() -> Vec<EcLatencyRow> {
+    let model = CloudModel::gcp9();
+    let mut rows = Vec::new();
+    for f in [1usize, 2] {
+        let w = spec(
+            &model,
+            ClientDistribution::Tokyo,
+            1024,
+            0.97,
+            500.0,
+            1_000_000 * 1024,
+            1000.0,
+            f,
+        );
+        let latency_opt = |filter| {
+            Optimizer::with_options(
+                model.clone(),
+                SearchOptions {
+                    objective: Objective::Latency,
+                    ..Default::default()
+                },
+            )
+            .optimize_filtered(&w, filter)
+        };
+        let cost_opt =
+            |filter| Optimizer::new(model.clone()).optimize_filtered(&w, filter);
+        if let Some(abd) = latency_opt(ProtocolFilter::AbdOnly) {
+            rows.push(EcLatencyRow {
+                f,
+                family: "ABD",
+                config: abd.config.describe(),
+                get_latency_ms: abd.worst_get_latency_ms,
+                cost_per_hour: abd.total_cost(),
+            });
+        }
+        let cas_plan = latency_opt(ProtocolFilter::CasOnly).or_else(|| cost_opt(ProtocolFilter::CasOnly));
+        if let Some(cas) = cas_plan {
+            rows.push(EcLatencyRow {
+                f,
+                family: "CAS",
+                config: cas.config.describe(),
+                get_latency_ms: cas.worst_get_latency_ms,
+                cost_per_hour: cas.total_cost(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------------------
+// Figure 15: the Wikipedia-derived workload
+// ---------------------------------------------------------------------------------------
+
+/// Figure 15: normalized baseline cost CDF over the Wikipedia-derived keys (epoch T1,
+/// 750 ms SLO). `num_keys` ≤ 1550 subsamples the key population for quicker runs.
+pub fn wikipedia_cdf(num_keys: usize) -> BaselineCdf {
+    let model = CloudModel::gcp9();
+    let params = legostore_workload::wikipedia::WikipediaParams {
+        num_keys: num_keys.max(1),
+        ..Default::default()
+    };
+    let keys = synthesize_wikipedia(&model, &params, 7);
+    let optimizer = Optimizer::new(model.clone());
+    let mut normalized: Vec<(Baseline, Vec<f64>)> =
+        Baseline::ALL.iter().map(|b| (*b, Vec::new())).collect();
+    let mut count = 0;
+    for key in &keys {
+        let Some(optimal) = optimizer.optimize(&key.t1) else { continue };
+        count += 1;
+        for (b, values) in normalized.iter_mut() {
+            if let Some(plan) = evaluate_baseline(&model, &key.t1, *b) {
+                values.push(plan.total_cost() / optimal.total_cost());
+            }
+        }
+    }
+    BaselineCdf {
+        slo_ms: 750.0,
+        f: 1,
+        workloads: count,
+        normalized,
+    }
+}
+
+/// The Figure 6 companion decision: the optimizer's choice for the hottest Wikipedia key in
+/// T1 and T2 (the paper observes CAS(5,1) → CAS(8,1) and a ~20% cost reduction).
+pub fn wikipedia_hot_key_choices() -> Option<(Plan, Plan)> {
+    let model = CloudModel::gcp9();
+    let params = legostore_workload::wikipedia::WikipediaParams::default();
+    let keys = synthesize_wikipedia(&model, &params, 7);
+    let hottest = keys.first()?;
+    let optimizer = Optimizer::new(model.clone());
+    let t1 = optimizer.optimize(&hottest.t1)?;
+    let t2 = optimizer.optimize(&hottest.t2)?;
+    Some((t1, t2))
+}
+
+/// Helper exposing the GCP DcIds used by several experiments.
+pub fn gcp_dc(name: GcpLocation) -> DcId {
+    name.dc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renderings_are_nonempty() {
+        assert!(table3(1024).contains("CAS(5,3)"));
+        assert!(table_inputs().contains("Tokyo"));
+    }
+
+    #[test]
+    fn small_baseline_cdf_runs() {
+        let cdf = baseline_cdf(1000.0, 1, 200); // ~3 workloads
+        assert!(cdf.workloads >= 2);
+        // The optimizer is never worse than a baseline: all normalized costs >= 1.
+        for (b, values) in &cdf.normalized {
+            for v in values {
+                assert!(*v >= 1.0 - 1e-6, "{}: {v}", b.label());
+            }
+        }
+        assert!(!cdf.render().is_empty());
+    }
+
+    #[test]
+    fn slo_sensitivity_small_matrix() {
+        let rows = slo_sensitivity(
+            1,
+            &[1024],
+            &[200.0, 1000.0],
+            &[ClientDistribution::Tokyo],
+        );
+        assert_eq!(rows.len(), 3 * 2);
+        assert!(render_slo_sensitivity(&rows).contains("SLO"));
+        // The relaxed SLO must always be feasible for Tokyo-only users.
+        assert!(rows
+            .iter()
+            .filter(|r| r.slo_ms == 1000.0)
+            .all(|r| r.choice != "infeasible"));
+    }
+
+    #[test]
+    fn kopt_study_small() {
+        let study = kopt_study(4);
+        assert!(!study.cost_vs_k.is_empty());
+        assert!(!study.render().is_empty());
+    }
+
+    #[test]
+    fn nearest_vs_optimal_has_three_rows_and_optimizer_wins() {
+        let rows = nearest_vs_optimal();
+        assert_eq!(rows.len(), 3);
+        let opt = rows.iter().find(|r| r.name == "Optimizer").unwrap();
+        for r in &rows {
+            assert!(opt.cost.total() <= r.cost.total() + 1e-9, "{}", r.name);
+        }
+        assert!(render_nearest_vs_optimal(&rows).contains("Optimizer"));
+    }
+
+    #[test]
+    fn ec_latency_rows_match_paper_shape() {
+        let rows = ec_vs_replication_latency();
+        assert!(rows.len() >= 2);
+        for f in [1usize, 2] {
+            let abd = rows.iter().find(|r| r.f == f && r.family == "ABD");
+            let cas = rows.iter().find(|r| r.f == f && r.family == "CAS");
+            if let (Some(abd), Some(cas)) = (abd, cas) {
+                // CAS is cheaper; its GET latency is within ~100 ms of ABD's optimum.
+                assert!(cas.cost_per_hour < abd.cost_per_hour, "f={f}");
+                assert!(cas.get_latency_ms - abd.get_latency_ms < 120.0, "f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn wikipedia_cdf_small() {
+        let cdf = wikipedia_cdf(10);
+        assert_eq!(cdf.workloads, 10);
+        assert_eq!(cdf.slo_ms, 750.0);
+    }
+}

@@ -1,0 +1,550 @@
+//! Experiments driven by the discrete-event simulator (and, for garbage collection, the raw
+//! protocol state): Figures 4, 5, 6 and 11 plus the Appendix F GC check.
+
+use legostore_cloud::{CloudModel, GcpLocation};
+use legostore_optimizer::latency::{get_latency_ms, put_latency_ms};
+use legostore_optimizer::search::{Optimizer, ProtocolFilter};
+use legostore_proto::cas::CasKeyState;
+use legostore_proto::msg::ProtoMsg;
+use legostore_sim::{LatencySummary, SimOptions, SimReport, Simulation};
+use legostore_types::{ClientId, Configuration, DcId, OpKind, Tag, Value};
+use legostore_workload::{client_distribution, ClientDistribution, TraceGenerator, WorkloadSpec};
+
+fn loc(l: GcpLocation) -> DcId {
+    l.dc()
+}
+
+/// The CAS(5,3) placement used by the Figure 4 experiment (Singapore, Frankfurt, Virginia,
+/// Los Angeles, Oregon — the paper's "California" is the Los Angeles region).
+pub fn fig4_placement() -> Configuration {
+    Configuration::cas_default(
+        vec![
+            loc(GcpLocation::Singapore),
+            loc(GcpLocation::Frankfurt),
+            loc(GcpLocation::Virginia),
+            loc(GcpLocation::LosAngeles),
+            loc(GcpLocation::Oregon),
+        ],
+        3,
+        1,
+    )
+}
+
+/// One point of Figure 4: latency statistics for clients in Tokyo at a given arrival rate.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyPoint {
+    /// Aggregate arrival rate to the single key (req/s).
+    pub arrival_rate: f64,
+    /// GET latency summary (Tokyo clients).
+    pub get: LatencySummary,
+    /// PUT latency summary (Tokyo clients).
+    pub put: LatencySummary,
+}
+
+/// Figure 4: a single 1 KB key configured as CAS(5,3); requests arrive from uniformly
+/// distributed user locations at increasing rates; we report the latency experienced by the
+/// Tokyo clients. `read_ratio` is 0.5 for panel (a) (RW) and 1/31 for panel (b) (HW).
+pub fn concurrency_robustness(
+    rates: &[f64],
+    read_ratio: f64,
+    duration_ms: f64,
+    seed: u64,
+) -> Vec<ConcurrencyPoint> {
+    let model = CloudModel::gcp9();
+    let config = fig4_placement();
+    let mut out = Vec::new();
+    for &rate in rates {
+        let mut spec = WorkloadSpec::example();
+        spec.arrival_rate = rate;
+        spec.read_ratio = read_ratio;
+        spec.object_size = 1024;
+        spec.client_distribution = client_distribution(ClientDistribution::Uniform, &model);
+        let mut gen = TraceGenerator::new(spec, 1, seed);
+        let trace = gen.generate(duration_ms);
+        let mut sim = Simulation::new(model.clone());
+        sim.create_key("hot", config.clone(), &Value::filler(1024));
+        sim.schedule_trace(&trace, 0.0, |_| "hot".to_string());
+        let report = sim.run();
+        let tokyo = loc(GcpLocation::Tokyo);
+        out.push(ConcurrencyPoint {
+            arrival_rate: rate,
+            get: report.latency(Some(OpKind::Get), Some(tokyo), None, None),
+            put: report.latency(Some(OpKind::Put), Some(tokyo), None, None),
+        });
+    }
+    out
+}
+
+/// Renders Figure 4's series.
+pub fn render_concurrency(points: &[ConcurrencyPoint]) -> String {
+    let mut out =
+        String::from("Figure 4: Tokyo-client latency vs arrival rate (CAS(5,3), 1 KB key)\n");
+    out.push_str("rate | GET avg | GET p99 | PUT avg | PUT p99\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:4.0} | {:7.1} | {:7.1} | {:7.1} | {:7.1}\n",
+            p.arrival_rate, p.get.mean_ms, p.get.p99_ms, p.put.mean_ms, p.put.p99_ms
+        ));
+    }
+    out
+}
+
+/// Result of the Figure 5 scenario.
+#[derive(Debug, Clone)]
+pub struct ReconfigScenarioResult {
+    /// The full simulator report.
+    pub report: SimReport,
+    /// End of the low-rate phase (ms).
+    pub load_change_ms: f64,
+    /// Time the Singapore DC fails (ms).
+    pub failure_ms: f64,
+    /// Time of the second reconfiguration (ms).
+    pub second_reconfig_ms: f64,
+    /// Number of keys.
+    pub keys: usize,
+}
+
+/// Figure 5: 20 keys configured as CAS(5,3) with clients in Tokyo/Sydney/Singapore/Frankfurt
+/// (30/30/30/10%). The arrival rate quadruples at `load_change_ms` (triggering a
+/// reconfiguration to ABD(3)), Singapore fails at `failure_ms`, and a second
+/// reconfiguration to CAS(4,2) happens at `second_reconfig_ms`. Durations are parameters so
+/// tests and benches can run a compressed timeline.
+pub fn reconfiguration_scenario(
+    keys: usize,
+    load_change_ms: f64,
+    failure_ms: f64,
+    second_reconfig_ms: f64,
+    end_ms: f64,
+    base_rate: f64,
+    seed: u64,
+) -> ReconfigScenarioResult {
+    let model = CloudModel::gcp9();
+    let old_config = Configuration::cas_default(
+        vec![
+            loc(GcpLocation::Tokyo),
+            loc(GcpLocation::Sydney),
+            loc(GcpLocation::Singapore),
+            loc(GcpLocation::Virginia),
+            loc(GcpLocation::Oregon),
+        ],
+        3,
+        1,
+    );
+    let abd_config = Configuration::abd_majority(
+        vec![
+            loc(GcpLocation::Tokyo),
+            loc(GcpLocation::Sydney),
+            loc(GcpLocation::Singapore),
+        ],
+        1,
+    );
+    let final_config = Configuration::cas_default(
+        vec![
+            loc(GcpLocation::Tokyo),
+            loc(GcpLocation::Sydney),
+            loc(GcpLocation::Virginia),
+            loc(GcpLocation::Oregon),
+        ],
+        2,
+        1,
+    );
+    let clients = vec![
+        (loc(GcpLocation::Tokyo), 0.3),
+        (loc(GcpLocation::Sydney), 0.3),
+        (loc(GcpLocation::Singapore), 0.3),
+        (loc(GcpLocation::Frankfurt), 0.1),
+    ];
+    let mut spec = WorkloadSpec::example();
+    spec.object_size = 1024;
+    spec.read_ratio = 0.5;
+    spec.client_distribution = clients;
+    spec.slo_get_ms = 700.0;
+    spec.slo_put_ms = 800.0;
+
+    let mut sim = Simulation::with_options(
+        model.clone(),
+        SimOptions {
+            controller_dc: loc(GcpLocation::LosAngeles),
+            ..Default::default()
+        },
+    );
+    for i in 0..keys {
+        sim.create_key(format!("key-{i}"), old_config.clone(), &Value::filler(1024));
+    }
+    // Phase 1: base rate until the load change.
+    let mut gen = TraceGenerator::new(spec.with_arrival_rate(base_rate), keys, seed);
+    sim.schedule_trace(&gen.generate(load_change_ms), 0.0, |i| format!("key-{i}"));
+    // Phase 2: four-fold rate until the end.
+    let mut gen = TraceGenerator::new(spec.with_arrival_rate(base_rate * 4.0), keys, seed ^ 1);
+    sim.schedule_trace(
+        &gen.generate(end_ms - load_change_ms),
+        load_change_ms,
+        |i| format!("key-{i}"),
+    );
+    // The controller reacts to the load change and to the failure.
+    for i in 0..keys {
+        sim.schedule_reconfig(load_change_ms + 50.0, format!("key-{i}"), abd_config.clone());
+        sim.schedule_reconfig(second_reconfig_ms, format!("key-{i}"), final_config.clone());
+    }
+    sim.schedule_failure(failure_ms, loc(GcpLocation::Singapore));
+    let report = sim.run();
+    ReconfigScenarioResult {
+        report,
+        load_change_ms,
+        failure_ms,
+        second_reconfig_ms,
+        keys,
+    }
+}
+
+impl ReconfigScenarioResult {
+    /// Latency summary for one client location over a time window.
+    pub fn window(&self, origin: GcpLocation, from_ms: f64, to_ms: f64) -> LatencySummary {
+        self.report
+            .latency(None, Some(loc(origin)), Some(from_ms), Some(to_ms))
+    }
+
+    /// Text rendering of the timeline.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 5: {} keys, reconfig at {} ms (CAS(5,3) -> ABD(3)), Singapore fails at {} ms, reconfig at {} ms (-> CAS(4,2))\n",
+            self.keys, self.load_change_ms, self.failure_ms, self.second_reconfig_ms
+        );
+        let phases = [
+            ("before load change", 0.0, self.load_change_ms),
+            ("after 4x load", self.load_change_ms, self.failure_ms),
+            ("after DC failure", self.failure_ms, self.second_reconfig_ms),
+            ("after 2nd reconfig", self.second_reconfig_ms, f64::INFINITY),
+        ];
+        for origin in [GcpLocation::Sydney, GcpLocation::Frankfurt] {
+            out.push_str(&format!("{:?} clients:\n", origin));
+            for (label, from, to) in phases {
+                let s = self.window(origin, from, to);
+                out.push_str(&format!(
+                    "  {label:20} count={:4} avg={:6.1} ms p99={:6.1} ms\n",
+                    s.count, s.mean_ms, s.p99_ms
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "reconfigurations completed: {} (durations ms: {:?})\n",
+            self.report.reconfig_durations_ms.len(),
+            self.report
+                .reconfig_durations_ms
+                .iter()
+                .map(|d| d.round())
+                .collect::<Vec<_>>()
+        ));
+        out.push_str(&format!(
+            "operations: {} total, {} failed, {} reconfig-retried, optimized GET fraction {:.2}\n",
+            self.report.operations.len(),
+            self.report.failures(),
+            self.report.operations.iter().filter(|o| o.reconfig_retries > 0).count(),
+            self.report.optimized_get_fraction()
+        ));
+        out
+    }
+}
+
+/// Result of the Figure 6 scenario (Wikipedia hot key, T1 → T2 epoch change).
+#[derive(Debug, Clone)]
+pub struct WikipediaKeyResult {
+    /// The simulator report.
+    pub report: SimReport,
+    /// Time of the reconfiguration (ms).
+    pub reconfig_at_ms: f64,
+}
+
+/// Figure 6: the hottest Wikipedia-derived key served as CAS(5,1) in T1 and reconfigured to
+/// CAS(8,1) when the epoch (client spread + arrival rate) changes.
+pub fn wikipedia_key_scenario(epoch_ms: f64, seed: u64) -> WikipediaKeyResult {
+    let model = CloudModel::gcp9();
+    let t1_config = Configuration::cas_default(
+        vec![
+            loc(GcpLocation::Tokyo),
+            loc(GcpLocation::Sydney),
+            loc(GcpLocation::Singapore),
+            loc(GcpLocation::Frankfurt),
+            loc(GcpLocation::London),
+        ],
+        1,
+        1,
+    );
+    let t2_config = Configuration::cas_default(
+        vec![
+            loc(GcpLocation::Tokyo),
+            loc(GcpLocation::Sydney),
+            loc(GcpLocation::Singapore),
+            loc(GcpLocation::Frankfurt),
+            loc(GcpLocation::London),
+            loc(GcpLocation::Virginia),
+            loc(GcpLocation::LosAngeles),
+            loc(GcpLocation::Oregon),
+        ],
+        1,
+        1,
+    );
+    let mut t1_spec = WorkloadSpec::example();
+    t1_spec.object_size = 20 * 1024;
+    t1_spec.read_ratio = 0.97;
+    t1_spec.arrival_rate = 16.0;
+    t1_spec.client_distribution = [
+        GcpLocation::Tokyo,
+        GcpLocation::Sydney,
+        GcpLocation::Singapore,
+        GcpLocation::Frankfurt,
+        GcpLocation::London,
+    ]
+    .iter()
+    .map(|l| (loc(*l), 0.2))
+    .collect();
+    let t2_spec = t1_spec
+        .with_arrival_rate(35.0)
+        .with_clients(client_distribution(ClientDistribution::Uniform, &model));
+
+    let mut sim = Simulation::with_options(
+        model,
+        SimOptions {
+            controller_dc: loc(GcpLocation::LosAngeles),
+            ..Default::default()
+        },
+    );
+    sim.create_key("wiki-hot", t1_config, &Value::filler(20 * 1024));
+    let mut gen = TraceGenerator::new(t1_spec, 1, seed);
+    sim.schedule_trace(&gen.generate(epoch_ms), 0.0, |_| "wiki-hot".to_string());
+    let mut gen = TraceGenerator::new(t2_spec, 1, seed ^ 7);
+    sim.schedule_trace(&gen.generate(epoch_ms), epoch_ms, |_| "wiki-hot".to_string());
+    sim.schedule_reconfig(epoch_ms, "wiki-hot", t2_config);
+    WikipediaKeyResult {
+        report: sim.run(),
+        reconfig_at_ms: epoch_ms,
+    }
+}
+
+impl WikipediaKeyResult {
+    /// Renders before/after latency summaries for Sydney and Frankfurt users (the locations
+    /// Figure 6 plots).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 6: Wikipedia hot key, reconfiguration CAS(5,1) -> CAS(8,1) at {} ms\n",
+            self.reconfig_at_ms
+        );
+        for origin in [GcpLocation::Sydney, GcpLocation::Frankfurt] {
+            let before =
+                self.report
+                    .latency(Some(OpKind::Get), Some(loc(origin)), None, Some(self.reconfig_at_ms));
+            let after = self.report.latency(
+                Some(OpKind::Get),
+                Some(loc(origin)),
+                Some(self.reconfig_at_ms),
+                None,
+            );
+            out.push_str(&format!(
+                "{:?} GETs: before avg={:.0} ms p99={:.0} ms ({} ops); after avg={:.0} ms p99={:.0} ms ({} ops)\n",
+                origin, before.mean_ms, before.p99_ms, before.count, after.mean_ms, after.p99_ms, after.count
+            ));
+        }
+        out.push_str(&format!(
+            "reconfiguration durations (ms): {:?}; SLO(750 ms) violations: {}\n",
+            self.report
+                .reconfig_durations_ms
+                .iter()
+                .map(|d| d.round())
+                .collect::<Vec<_>>(),
+            self.report.slo_violations(750.0, None)
+        ));
+        out
+    }
+}
+
+/// One row of Figure 11: predicted vs measured latency at a user location, with and without
+/// the Los Angeles DC failed.
+#[derive(Debug, Clone)]
+pub struct ModelValidationRow {
+    /// User location.
+    pub location: &'static str,
+    /// Predicted GET / PUT latency from the optimizer's worst-case model (ms).
+    pub predicted_get_ms: f64,
+    /// Predicted PUT latency (ms).
+    pub predicted_put_ms: f64,
+    /// Measured GET latency (mean / p99, ms) in the failure-free run.
+    pub measured_get: LatencySummary,
+    /// Measured PUT latency in the failure-free run.
+    pub measured_put: LatencySummary,
+    /// Measured GET latency with the Los Angeles DC failed.
+    pub failure_get: LatencySummary,
+    /// Measured PUT latency with the Los Angeles DC failed.
+    pub failure_put: LatencySummary,
+}
+
+/// Figure 11: uniform client distribution, 1 KB objects, HW mix, 1 s SLO, f = 1. The
+/// optimizer picks the configuration (CAS(4,2) in the paper); we compare its predicted
+/// worst-case latencies against simulator measurements per user location, then repeat with
+/// the Los Angeles server failed.
+pub fn model_validation(duration_ms: f64, rate: f64, seed: u64) -> Vec<ModelValidationRow> {
+    let model = CloudModel::gcp9();
+    let mut spec = WorkloadSpec::example();
+    spec.object_size = 1024;
+    spec.read_ratio = 1.0 / 31.0;
+    spec.arrival_rate = rate;
+    spec.client_distribution = client_distribution(ClientDistribution::Uniform, &model);
+    spec.slo_get_ms = 1000.0;
+    spec.slo_put_ms = 1000.0;
+    let plan = Optimizer::new(model.clone())
+        .optimize_filtered(&spec, ProtocolFilter::CasOnly)
+        .expect("CAS feasible at 1 s for the uniform workload");
+    let config = plan.config.clone();
+
+    let run = |fail_la: bool| -> SimReport {
+        let mut sim = Simulation::new(model.clone());
+        sim.create_key("k", config.clone(), &Value::filler(1024));
+        if fail_la {
+            sim.schedule_failure(0.0, loc(GcpLocation::LosAngeles));
+        }
+        let mut gen = TraceGenerator::new(spec.clone(), 1, seed);
+        sim.schedule_trace(&gen.generate(duration_ms), 0.0, |_| "k".to_string());
+        sim.run()
+    };
+    let healthy = run(false);
+    let degraded = run(true);
+
+    GcpLocation::ALL
+        .iter()
+        .map(|l| {
+            let dc = loc(*l);
+            ModelValidationRow {
+                location: l.name(),
+                predicted_get_ms: get_latency_ms(&model, &spec, &config, dc),
+                predicted_put_ms: put_latency_ms(&model, &spec, &config, dc),
+                measured_get: healthy.latency(Some(OpKind::Get), Some(dc), None, None),
+                measured_put: healthy.latency(Some(OpKind::Put), Some(dc), None, None),
+                failure_get: degraded.latency(Some(OpKind::Get), Some(dc), None, None),
+                failure_put: degraded.latency(Some(OpKind::Put), Some(dc), None, None),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Figure 11 comparison table.
+pub fn render_model_validation(rows: &[ModelValidationRow]) -> String {
+    let mut out = String::from(
+        "Figure 11: predicted vs measured latency per user location (and under LA failure)\n",
+    );
+    out.push_str("location    | pred GET | meas GET avg/p99 | fail GET avg/p99 | pred PUT | meas PUT avg/p99 | fail PUT avg/p99\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:12}| {:8.0} | {:7.0}/{:7.0}  | {:7.0}/{:7.0}  | {:8.0} | {:7.0}/{:7.0}  | {:7.0}/{:7.0}\n",
+            r.location,
+            r.predicted_get_ms,
+            r.measured_get.mean_ms,
+            r.measured_get.p99_ms,
+            r.failure_get.mean_ms,
+            r.failure_get.p99_ms,
+            r.predicted_put_ms,
+            r.measured_put.mean_ms,
+            r.measured_put.p99_ms,
+            r.failure_put.mean_ms,
+            r.failure_put.p99_ms,
+        ));
+    }
+    out
+}
+
+/// Appendix F: the storage overhead of keeping CAS version history, with and without
+/// garbage collection. Returns (versions without GC, bytes without GC, versions with GC,
+/// bytes with GC) after `puts` sequential writes of `object_bytes` each.
+pub fn gc_overhead(puts: usize, object_bytes: usize, gc_every: usize) -> (usize, u64, usize, u64) {
+    let shard = legostore_erasure::encode_value(&vec![7u8; object_bytes], 5, 3)
+        .unwrap()
+        .remove(0)
+        .data;
+    let run = |gc: bool| -> (usize, u64) {
+        let mut state = CasKeyState::new(Tag::INITIAL, Some(shard.clone()));
+        for i in 1..=puts {
+            let tag = Tag::new(i as u64, ClientId(1));
+            state.handle(&ProtoMsg::CasPreWrite { tag, shard: shard.clone() });
+            state.handle(&ProtoMsg::CasFinalizeWrite { tag });
+            if gc && i % gc_every == 0 {
+                state.garbage_collect(1);
+            }
+        }
+        if gc {
+            state.garbage_collect(1);
+        }
+        (state.version_count(), state.storage_bytes())
+    };
+    let (v_no, b_no) = run(false);
+    let (v_gc, b_gc) = run(true);
+    (v_no, b_no, v_gc, b_gc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_latency_is_flat_in_arrival_rate() {
+        let points = concurrency_robustness(&[20.0, 60.0], 0.5, 20_000.0, 3);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.get.count > 10);
+            assert!(p.put.count > 10);
+            assert!(p.get.count + p.put.count > 30);
+            // CAS PUT (3 phases) is slower than GET (2 phases).
+            assert!(p.put.mean_ms > p.get.mean_ms);
+        }
+        // Robustness: mean latency changes by less than 15% across a 3x rate increase.
+        let rel = (points[1].put.mean_ms - points[0].put.mean_ms).abs() / points[0].put.mean_ms;
+        assert!(rel < 0.15, "relative change {rel}");
+        assert!(!render_concurrency(&points).is_empty());
+    }
+
+    #[test]
+    fn fig5_scenario_compressed_timeline() {
+        let result = reconfiguration_scenario(3, 4_000.0, 8_000.0, 10_000.0, 14_000.0, 30.0, 5);
+        // Two reconfigurations per key.
+        assert_eq!(result.report.reconfig_durations_ms.len(), 6);
+        for d in &result.report.reconfig_durations_ms {
+            assert!(*d < 1500.0, "reconfig took {d} ms");
+        }
+        // No operation is lost across load change, reconfigurations and the DC failure.
+        assert_eq!(result.report.failures(), 0);
+        assert!(result.report.operations.len() > 200);
+        assert!(result.render().contains("reconfigurations completed"));
+    }
+
+    #[test]
+    fn fig6_scenario_smoke() {
+        let result = wikipedia_key_scenario(5_000.0, 11);
+        assert_eq!(result.report.reconfig_durations_ms.len(), 1);
+        assert_eq!(result.report.failures(), 0);
+        assert!(result.render().contains("Figure 6"));
+    }
+
+    #[test]
+    fn fig11_predictions_bound_measurements() {
+        let rows = model_validation(5_000.0, 30.0, 1);
+        assert_eq!(rows.len(), 9);
+        for r in rows {
+            if r.measured_put.count > 5 {
+                // The worst-case model must upper-bound the failure-free mean latency
+                // (allowing a small tolerance for the optimized-GET fast path variance).
+                assert!(
+                    r.measured_put.mean_ms <= r.predicted_put_ms + 25.0,
+                    "{}: measured {} vs predicted {}",
+                    r.location,
+                    r.measured_put.mean_ms,
+                    r.predicted_put_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gc_keeps_storage_bounded() {
+        let (v_no, b_no, v_gc, b_gc) = gc_overhead(200, 3000, 10);
+        assert_eq!(v_no, 201);
+        assert!(v_gc <= 3);
+        assert!(b_gc < b_no / 10);
+    }
+}

@@ -1,0 +1,228 @@
+//! The nine-GCP-data-center deployment used throughout the paper.
+//!
+//! Prices come from Table 1 (storage $/GB-month and VM $/hour) and Table 2 (pairwise RTTs in
+//! milliseconds and network prices in $/GB, indexed `[source][destination]`).
+
+use crate::model::{CloudModel, CloudModelBuilder, DataCenter};
+use legostore_types::DcId;
+
+/// The nine GCP locations of the paper, in the order used by Tables 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcpLocation {
+    /// asia-northeast1 (Tokyo).
+    Tokyo,
+    /// australia-southeast1 (Sydney).
+    Sydney,
+    /// asia-southeast1 (Singapore).
+    Singapore,
+    /// europe-west3 (Frankfurt).
+    Frankfurt,
+    /// europe-west2 (London).
+    London,
+    /// us-east4 (Virginia).
+    Virginia,
+    /// southamerica-east1 (São Paulo).
+    SaoPaulo,
+    /// us-west2 (Los Angeles).
+    LosAngeles,
+    /// us-west1 (Oregon).
+    Oregon,
+}
+
+impl GcpLocation {
+    /// All nine locations in table order.
+    pub const ALL: [GcpLocation; 9] = [
+        GcpLocation::Tokyo,
+        GcpLocation::Sydney,
+        GcpLocation::Singapore,
+        GcpLocation::Frankfurt,
+        GcpLocation::London,
+        GcpLocation::Virginia,
+        GcpLocation::SaoPaulo,
+        GcpLocation::LosAngeles,
+        GcpLocation::Oregon,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            GcpLocation::Tokyo => "Tokyo",
+            GcpLocation::Sydney => "Sydney",
+            GcpLocation::Singapore => "Singapore",
+            GcpLocation::Frankfurt => "Frankfurt",
+            GcpLocation::London => "London",
+            GcpLocation::Virginia => "Virginia",
+            GcpLocation::SaoPaulo => "SaoPaulo",
+            GcpLocation::LosAngeles => "LosAngeles",
+            GcpLocation::Oregon => "Oregon",
+        }
+    }
+
+    /// The [`DcId`] of this location within the [`gcp9`] model.
+    pub fn dc(self) -> DcId {
+        DcId(GcpLocation::ALL.iter().position(|l| *l == self).unwrap() as u16)
+    }
+}
+
+/// Storage prices in $/GB-month (Table 1).
+const STORAGE_PRICE: [f64; 9] = [0.052, 0.054, 0.044, 0.048, 0.048, 0.044, 0.060, 0.048, 0.040];
+
+/// VM prices in $/hour (Table 1, custom 1 vCPU / 1 GB VMs).
+const VM_PRICE: [f64; 9] = [
+    0.0261, 0.0283, 0.0253, 0.0262, 0.0262, 0.0226, 0.0310, 0.0248, 0.0215,
+];
+
+/// Pairwise RTTs in milliseconds (Table 2), `RTT[source][destination]`.
+const RTT_MS: [[f64; 9]; 9] = [
+    // Tokyo
+    [2.0, 115.0, 70.0, 226.0, 218.0, 148.0, 253.0, 100.0, 90.0],
+    // Sydney
+    [115.0, 2.0, 94.0, 289.0, 277.0, 204.0, 291.0, 139.0, 162.0],
+    // Singapore
+    [72.0, 94.0, 2.0, 202.0, 203.0, 214.0, 319.0, 165.0, 166.0],
+    // Frankfurt
+    [229.0, 289.0, 201.0, 2.0, 15.0, 89.0, 202.0, 153.0, 139.0],
+    // London
+    [222.0, 280.0, 204.0, 15.0, 2.0, 79.0, 192.0, 141.0, 131.0],
+    // Virginia
+    [146.0, 204.0, 214.0, 90.0, 79.0, 2.0, 116.0, 68.0, 58.0],
+    // São Paulo
+    [252.0, 292.0, 317.0, 202.0, 192.0, 117.0, 1.0, 155.0, 172.0],
+    // Los Angeles
+    [101.0, 139.0, 180.0, 153.0, 142.0, 67.0, 155.0, 2.0, 26.0],
+    // Oregon
+    [95.0, 164.0, 165.0, 142.0, 131.0, 58.0, 173.0, 26.0, 2.0],
+];
+
+/// Outbound network price in $/GB (Table 2), `PRICE[source][destination]`.
+const NET_PRICE_GB: [[f64; 9]; 9] = [
+    // Tokyo ->
+    [0.0, 0.15, 0.12, 0.12, 0.12, 0.12, 0.12, 0.12, 0.12],
+    // Sydney ->
+    [0.15, 0.0, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15],
+    // Singapore ->
+    [0.09, 0.15, 0.0, 0.09, 0.09, 0.09, 0.09, 0.09, 0.09],
+    // Frankfurt ->
+    [0.08, 0.15, 0.08, 0.0, 0.08, 0.08, 0.08, 0.08, 0.08],
+    // London ->
+    [0.08, 0.15, 0.08, 0.08, 0.0, 0.08, 0.08, 0.08, 0.08],
+    // Virginia ->
+    [0.08, 0.15, 0.08, 0.08, 0.08, 0.0, 0.08, 0.08, 0.08],
+    // São Paulo ->
+    [0.08, 0.15, 0.08, 0.08, 0.08, 0.08, 0.0, 0.08, 0.08],
+    // Los Angeles ->
+    [0.08, 0.15, 0.08, 0.08, 0.08, 0.08, 0.08, 0.0, 0.08],
+    // Oregon ->
+    [0.08, 0.15, 0.08, 0.08, 0.08, 0.08, 0.08, 0.08, 0.0],
+];
+
+/// Builds the nine-DC GCP model of the paper.
+pub fn gcp9() -> CloudModel {
+    let dcs: Vec<DataCenter> = GcpLocation::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, loc)| DataCenter {
+            id: DcId::from(i),
+            name: loc.name().to_string(),
+            storage_price_gb_month: STORAGE_PRICE[i],
+            vm_price_hour: VM_PRICE[i],
+        })
+        .collect();
+    let rtt: Vec<Vec<f64>> = RTT_MS.iter().map(|r| r.to_vec()).collect();
+    let price: Vec<Vec<f64>> = NET_PRICE_GB.iter().map(|r| r.to_vec()).collect();
+    CloudModelBuilder::from_parts(dcs, rtt, price).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_data_centers_in_table_order() {
+        let m = gcp9();
+        assert_eq!(m.num_dcs(), 9);
+        assert_eq!(m.dc(GcpLocation::Tokyo.dc()).name, "Tokyo");
+        assert_eq!(m.dc(GcpLocation::Oregon.dc()).name, "Oregon");
+        assert_eq!(GcpLocation::SaoPaulo.dc(), DcId(6));
+    }
+
+    #[test]
+    fn table1_prices_embedded() {
+        let m = gcp9();
+        let tokyo = GcpLocation::Tokyo.dc();
+        let oregon = GcpLocation::Oregon.dc();
+        assert!((m.dc(tokyo).storage_price_gb_month - 0.052).abs() < 1e-12);
+        assert!((m.dc(oregon).storage_price_gb_month - 0.040).abs() < 1e-12);
+        assert!((m.vm_price_hour(GcpLocation::SaoPaulo.dc()) - 0.0310).abs() < 1e-12);
+        assert!((m.vm_price_hour(oregon) - 0.0215).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_rtts_embedded_and_roughly_symmetric() {
+        let m = gcp9();
+        let tokyo = GcpLocation::Tokyo.dc();
+        let sydney = GcpLocation::Sydney.dc();
+        let frankfurt = GcpLocation::Frankfurt.dc();
+        let london = GcpLocation::London.dc();
+        assert_eq!(m.rtt_ms(tokyo, sydney), 115.0);
+        assert_eq!(m.rtt_ms(frankfurt, london), 15.0);
+        assert_eq!(m.rtt_ms(london, frankfurt), 15.0);
+        // RTTs in the published table differ slightly by direction (measurement noise);
+        // each direction must still be within the measured ballpark of its transpose.
+        for i in m.dc_ids() {
+            for j in m.dc_ids() {
+                assert!((m.rtt_ms(i, j) - m.rtt_ms(j, i)).abs() <= 20.0, "{i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_cited_extreme_prices() {
+        let m = gcp9();
+        // "the cheapest per-byte transfer is $0.08/GB (e.g., London to Tokyo), the costliest
+        //  is $0.15/GB (e.g., Sydney to Tokyo)".
+        assert!((m.net_price_gb(GcpLocation::London.dc(), GcpLocation::Tokyo.dc()) - 0.08).abs() < 1e-12);
+        assert!((m.net_price_gb(GcpLocation::Sydney.dc(), GcpLocation::Tokyo.dc()) - 0.15).abs() < 1e-12);
+        // Everything into Sydney costs 0.15 from anywhere else.
+        for i in m.dc_ids() {
+            if i != GcpLocation::Sydney.dc() {
+                assert!((m.net_price_gb(i, GcpLocation::Sydney.dc()) - 0.15).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_dc_rtts_are_one_or_two_ms() {
+        let m = gcp9();
+        for i in m.dc_ids() {
+            assert!(m.rtt_ms(i, i) <= 2.0);
+            assert_eq!(m.net_price_gb(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn rtt_extremes_match_paper_text() {
+        // "The smallest RTTs are 15-20 msec while the largest exceed 300 msec."
+        let m = gcp9();
+        let mut min = f64::MAX;
+        let mut max: f64 = 0.0;
+        for i in m.dc_ids() {
+            for j in m.dc_ids() {
+                if i != j {
+                    min = min.min(m.rtt_ms(i, j));
+                    max = max.max(m.rtt_ms(i, j));
+                }
+            }
+        }
+        assert_eq!(min, 15.0);
+        assert!(max > 300.0);
+    }
+
+    #[test]
+    fn location_name_round_trip() {
+        let m = gcp9();
+        for loc in GcpLocation::ALL {
+            assert_eq!(m.dc_by_name(loc.name()), Some(loc.dc()));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Public-cloud model: data centers, latencies, bandwidths and prices.
+//!
+//! LEGOStore's optimizer and simulator need to know, for every pair of data centers, the
+//! round-trip time and the per-byte network transfer price, and for every data center the
+//! storage and VM prices. The paper measures/quotes these for nine Google Cloud Platform
+//! locations (Tables 1 and 2); [`CloudModel::gcp9`] embeds exactly those numbers. Arbitrary
+//! topologies can be built with [`CloudModelBuilder`] for tests and what-if studies.
+
+pub mod gcp;
+pub mod model;
+
+pub use gcp::{gcp9, GcpLocation};
+pub use model::{CloudModel, CloudModelBuilder, DataCenter};
+
+/// Number of bytes in a gigabyte as used by cloud billing (10^9).
+pub const BYTES_PER_GB: f64 = 1e9;
+
+/// Hours in a billing month used to convert $/GB-month into $/byte-hour.
+pub const HOURS_PER_MONTH: f64 = 730.0;
+
+/// Metadata size in bytes exchanged per protocol phase (the paper rounds it up to 100 B).
+pub const METADATA_BYTES: u64 = 100;
+
+/// Default inter-DC bandwidth (bytes/second) when a model does not specify one.
+///
+/// The paper's latency constraints include an `o / B_ij` transfer-time term; for the object
+/// sizes it studies (1 KB – 100 KB) this term is negligible compared to RTTs at gigabit
+/// bandwidths, which is what we default to.
+pub const DEFAULT_BANDWIDTH_BYTES_PER_SEC: f64 = 125_000_000.0; // 1 Gbit/s
+
+/// Default VM-capacity multiplier θ_v: VM-hours needed per (request/second) of load at a DC.
+///
+/// The paper determines θ_v empirically for its f1-micro-class VMs; the absolute value only
+/// scales the VM component of cost, so any small constant reproduces the trade-off shapes.
+pub const DEFAULT_THETA_V: f64 = 0.0015;

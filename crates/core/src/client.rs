@@ -1,0 +1,539 @@
+//! The LEGOStore client: the user-facing CREATE / GET / PUT / DELETE API (§3.1).
+//!
+//! A [`StoreClient`] is bound to one data center (users are served by the client in or
+//! nearest to their DC). Each operation resolves the key's configuration (from the client's
+//! local view, falling back to the metadata service), runs the appropriate protocol state
+//! machine against the server threads, and transparently handles the two kinds of
+//! disruption the paper studies: reconfigurations (restart against the new configuration
+//! after refreshing metadata) and data-center failures (timeout, widen the quorum to the
+//! full placement, retry).
+
+use crate::cluster::{ClusterInner, ControlMsg, ReplyEnvelope};
+use crate::inbox::DelayedInbox;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use legostore_lincheck::recorder::fingerprint;
+use legostore_proto::msg::{OpOutcome, OpProgress, Outbound, ProtoReply};
+use legostore_proto::server::{DcServer, Inbound};
+use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
+use legostore_types::{
+    ClientId, Configuration, DcId, Key, OpKind, ProtocolKind, StoreError, StoreResult, Tag, Value,
+};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One protocol operation in flight.
+enum ClientOp {
+    AbdPut(AbdPut),
+    AbdGet(AbdGet),
+    CasPut(CasPut),
+    CasGet(CasGet),
+}
+
+impl ClientOp {
+    fn start(&self) -> Vec<Outbound> {
+        match self {
+            ClientOp::AbdPut(o) => o.start(),
+            ClientOp::AbdGet(o) => o.start(),
+            ClientOp::CasPut(o) => o.start(),
+            ClientOp::CasGet(o) => o.start(),
+        }
+    }
+
+    fn on_reply(&mut self, from: DcId, phase: u8, reply: ProtoReply) -> OpProgress {
+        match self {
+            ClientOp::AbdPut(o) => o.on_reply(from, phase, reply),
+            ClientOp::AbdGet(o) => o.on_reply(from, phase, reply),
+            ClientOp::CasPut(o) => o.on_reply(from, phase, reply),
+            ClientOp::CasGet(o) => o.on_reply(from, phase, reply),
+        }
+    }
+}
+
+/// Statistics kept by a client about its own operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClientStats {
+    /// Completed GETs.
+    pub gets: u64,
+    /// GETs that finished in one phase (optimized GETs).
+    pub one_phase_gets: u64,
+    /// Completed PUTs.
+    pub puts: u64,
+    /// Operation attempts that were restarted because of a reconfiguration.
+    pub reconfig_restarts: u64,
+    /// Operation attempts that were restarted after a timeout.
+    pub timeout_restarts: u64,
+}
+
+/// A LEGOStore client bound to one data center.
+pub struct StoreClient {
+    cluster: Arc<ClusterInner>,
+    dc: DcId,
+    client_id: ClientId,
+    reply_tx: Sender<ReplyEnvelope>,
+    reply_rx: Receiver<ReplyEnvelope>,
+    /// Local view of key configurations (refreshed on redirects).
+    view: HashMap<Key, Configuration>,
+    /// Client-side cache used by the CAS optimized GET.
+    cas_cache: HashMap<Key, (Tag, Value)>,
+    /// Per-client operation statistics.
+    stats: ClientStats,
+}
+
+impl StoreClient {
+    pub(crate) fn new(cluster: Arc<ClusterInner>, dc: DcId) -> StoreClient {
+        let (reply_tx, reply_rx) = unbounded();
+        let client_id = ClientId(cluster.next_client_id.fetch_add(1, Ordering::Relaxed));
+        StoreClient {
+            cluster,
+            dc,
+            client_id,
+            reply_tx,
+            reply_rx,
+            view: HashMap::new(),
+            cas_cache: HashMap::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The data center this client runs in.
+    pub fn dc(&self) -> DcId {
+        self.dc
+    }
+
+    /// This client's unique identifier (the tie-breaker in tags).
+    pub fn client_id(&self) -> ClientId {
+        self.client_id
+    }
+
+    /// Operation statistics collected so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// CREATE: registers `key` with the default configuration (ABD over the nearest DCs) and
+    /// stores `value` as its initial version. Errors if the key already exists.
+    pub fn create(&mut self, key: &Key, value: Value) -> StoreResult<()> {
+        let f = self.cluster.options.default_fault_tolerance;
+        let dcs: Vec<DcId> = self
+            .cluster
+            .model
+            .nearest_dcs(self.dc)
+            .into_iter()
+            .take(2 * f + 1)
+            .collect();
+        let config = Configuration::abd_majority(dcs, f);
+        self.create_with_config(key, value, config)
+    }
+
+    /// CREATE with an explicit configuration (e.g. one produced by the optimizer).
+    pub fn create_with_config(
+        &mut self,
+        key: &Key,
+        value: Value,
+        config: Configuration,
+    ) -> StoreResult<()> {
+        config
+            .validate()
+            .map_err(|e| StoreError::InvalidConfiguration(e.to_string()))?;
+        {
+            let mut meta = self.cluster.metadata.lock();
+            if meta.contains_key(key) {
+                return Err(StoreError::KeyAlreadyExists(key.clone()));
+            }
+            meta.insert(key.clone(), config.clone());
+        }
+        for (dc, payload) in DcServer::initial_payloads(&config, &value) {
+            self.cluster.control(
+                dc,
+                ControlMsg::InstallKey {
+                    key: key.clone(),
+                    config: config.clone(),
+                    tag: Tag::INITIAL,
+                    payload,
+                },
+            );
+        }
+        self.cluster
+            .recorder
+            .register_key(key.as_str(), fingerprint(value.as_bytes()));
+        self.view.insert(key.clone(), config);
+        Ok(())
+    }
+
+    /// DELETE: removes the key everywhere. Errors if the key does not exist.
+    pub fn delete(&mut self, key: &Key) -> StoreResult<()> {
+        let existed = self.cluster.metadata.lock().remove(key).is_some();
+        if !existed {
+            return Err(StoreError::KeyNotFound(key.clone()));
+        }
+        for dc in self.cluster.model.dc_ids() {
+            self.cluster.control(dc, ControlMsg::RemoveKey(key.clone()));
+        }
+        self.view.remove(key);
+        self.cas_cache.remove(key);
+        Ok(())
+    }
+
+    /// GET: returns the value of `key`.
+    pub fn get(&mut self, key: &Key) -> StoreResult<Value> {
+        let invoke = self.cluster.now_ns();
+        let (value, one_phase) = self.run_operation(key, OpKind::Get, None)?;
+        let ret = self.cluster.now_ns();
+        self.stats.gets += 1;
+        if one_phase {
+            self.stats.one_phase_gets += 1;
+        }
+        self.cluster.recorder.record_get(
+            key.as_str(),
+            self.client_id.0,
+            fingerprint(value.as_bytes()),
+            invoke,
+            ret,
+        );
+        Ok(value)
+    }
+
+    /// PUT: overwrites the value of `key`.
+    pub fn put(&mut self, key: &Key, value: Value) -> StoreResult<()> {
+        let invoke = self.cluster.now_ns();
+        let fp = fingerprint(value.as_bytes());
+        self.run_operation(key, OpKind::Put, Some(value))?;
+        let ret = self.cluster.now_ns();
+        self.stats.puts += 1;
+        self.cluster
+            .recorder
+            .record_put(key.as_str(), self.client_id.0, fp, invoke, ret);
+        Ok(())
+    }
+
+    /// Refreshes this client's view of `key`'s configuration from the metadata service.
+    pub fn refresh_view(&mut self, key: &Key) -> StoreResult<Configuration> {
+        let config = self
+            .cluster
+            .metadata
+            .lock()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::KeyNotFound(key.clone()))?;
+        self.view.insert(key.clone(), config.clone());
+        Ok(config)
+    }
+
+    fn config_for(&mut self, key: &Key) -> StoreResult<Configuration> {
+        if let Some(c) = self.view.get(key) {
+            return Ok(c.clone());
+        }
+        self.refresh_view(key)
+    }
+
+    fn build_op(&self, key: &Key, kind: OpKind, config: &Configuration, value: Option<&Value>) -> ClientOp {
+        match (config.protocol, kind) {
+            (ProtocolKind::Abd, OpKind::Put) => ClientOp::AbdPut(AbdPut::new(
+                key.clone(),
+                config.clone(),
+                self.dc,
+                self.client_id,
+                value.cloned().unwrap_or_else(Value::empty),
+            )),
+            (ProtocolKind::Abd, OpKind::Get) => ClientOp::AbdGet(AbdGet::new(
+                key.clone(),
+                config.clone(),
+                self.dc,
+                self.cluster.options.optimized_get,
+            )),
+            (ProtocolKind::Cas, OpKind::Put) => ClientOp::CasPut(CasPut::new(
+                key.clone(),
+                config.clone(),
+                self.dc,
+                self.client_id,
+                value.cloned().unwrap_or_else(Value::empty),
+            )),
+            (ProtocolKind::Cas, OpKind::Get) => {
+                let cache = if self.cluster.options.optimized_get {
+                    self.cas_cache.get(key).cloned()
+                } else {
+                    None
+                };
+                ClientOp::CasGet(CasGet::new(key.clone(), config.clone(), self.dc, cache))
+            }
+        }
+    }
+
+    /// Runs one GET/PUT to completion, handling reconfiguration redirects and timeouts.
+    /// Returns the value read (GETs) or the value written (PUTs) plus the one-phase flag.
+    fn run_operation(
+        &mut self,
+        key: &Key,
+        kind: OpKind,
+        value: Option<Value>,
+    ) -> StoreResult<(Value, bool)> {
+        let mut config = self.config_for(key)?;
+        let mut widen = false;
+        let max_attempts = self.cluster.options.max_attempts.max(1);
+        let mut last_error = StoreError::QuorumTimeout { needed: 0, received: 0 };
+        for _attempt in 0..max_attempts {
+            let mut effective = config.clone();
+            if widen {
+                // Failure handling (§4.5): re-send to every DC in the placement and take the
+                // first quorum's worth of responses.
+                let all = effective.dcs.clone();
+                effective
+                    .preferred_quorums
+                    .insert(self.dc, vec![all.clone(), all.clone(), all.clone(), all]);
+            }
+            let mut op = self.build_op(key, kind, &effective, value.as_ref());
+            let endpoint = self.cluster.next_endpoint.fetch_add(1, Ordering::Relaxed);
+            let deadline = Instant::now() + self.cluster.options.op_timeout;
+            let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
+            let mut outbound = op.start();
+            loop {
+                for out in outbound.drain(..) {
+                    let inbound = Inbound {
+                        from: endpoint,
+                        msg_id: 0,
+                        phase: out.phase,
+                        key: out.key.clone(),
+                        epoch: out.epoch,
+                        msg: out.msg.clone(),
+                    };
+                    self.cluster.send_request(out.to, self.reply_tx.clone(), inbound)?;
+                }
+                // Wait for the next reply (or the attempt deadline).
+                let env = match self.wait_for_reply(endpoint, &mut inbox, deadline) {
+                    Some(env) => env,
+                    None => break, // timeout: widen and retry
+                };
+                match op.on_reply(env.from, env.phase, env.reply) {
+                    OpProgress::Pending => {}
+                    OpProgress::Send(msgs) => outbound = msgs,
+                    OpProgress::Done(outcome) => match outcome {
+                        OpOutcome::PutOk { tag } => {
+                            if let Some(v) = &value {
+                                self.cas_cache.insert(key.clone(), (tag, v.clone()));
+                            }
+                            return Ok((value.unwrap_or_else(Value::empty), false));
+                        }
+                        OpOutcome::GetOk { tag, value, one_phase } => {
+                            self.cas_cache.insert(key.clone(), (tag, value.clone()));
+                            return Ok((value, one_phase));
+                        }
+                        OpOutcome::Reconfigured { new_config } => {
+                            // Fetch the new configuration (modeled as a metadata round trip
+                            // to the controller DC) and retry against it.
+                            self.stats.reconfig_restarts += 1;
+                            let delay = self.cluster.reply_delay(
+                                self.dc,
+                                self.cluster.options.controller_dc,
+                                self.cluster.options.metadata_bytes,
+                            );
+                            std::thread::sleep(delay);
+                            config = (*new_config).clone();
+                            self.view.insert(key.clone(), config.clone());
+                            last_error = StoreError::OperationFailedByReconfig {
+                                new_epoch: config.epoch,
+                            };
+                            break;
+                        }
+                        OpOutcome::Failed(err) => {
+                            if err.is_retryable() {
+                                last_error = err;
+                                break;
+                            }
+                            return Err(err);
+                        }
+                    },
+                }
+            }
+            // The attempt ended without completing: refresh the view (it may have changed)
+            // and widen the quorum for the next attempt.
+            if let Ok(fresh) = self.refresh_view(key) {
+                if fresh.epoch > config.epoch {
+                    config = fresh;
+                } else {
+                    widen = true;
+                    self.stats.timeout_restarts += 1;
+                }
+            } else {
+                widen = true;
+            }
+        }
+        Err(last_error)
+    }
+
+    /// Waits for the next reply addressed to `endpoint`, honoring modeled network delays.
+    fn wait_for_reply(
+        &mut self,
+        endpoint: u64,
+        inbox: &mut DelayedInbox<ReplyEnvelope>,
+        deadline: Instant,
+    ) -> Option<ReplyEnvelope> {
+        loop {
+            // Drain anything already on the channel into the delayed inbox.
+            while let Ok(env) = self.reply_rx.try_recv() {
+                if env.endpoint == endpoint {
+                    let delay = self.cluster.reply_delay(
+                        self.dc,
+                        env.from,
+                        env.reply.wire_size(self.cluster.options.metadata_bytes),
+                    );
+                    inbox.push(env.sent_at, delay, env);
+                }
+            }
+            if let Some(env) = inbox.next_ready(deadline) {
+                return Some(env);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let wake = inbox.next_available_at().unwrap_or(deadline).min(deadline);
+            let timeout = wake
+                .checked_duration_since(now)
+                .unwrap_or(Duration::ZERO)
+                .max(Duration::from_micros(50));
+            match self.reply_rx.recv_timeout(timeout) {
+                Ok(env) => {
+                    if env.endpoint == endpoint {
+                        let delay = self.cluster.reply_delay(
+                            self.dc,
+                            env.from,
+                            env.reply.wire_size(self.cluster.options.metadata_bytes),
+                        );
+                        inbox.push(env.sent_at, delay, env);
+                    }
+                }
+                Err(_) => {
+                    if Instant::now() >= deadline && inbox.next_available_at().map(|t| t > deadline).unwrap_or(true) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterOptions};
+    use legostore_cloud::GcpLocation;
+
+    fn fast_cluster() -> Cluster {
+        Cluster::gcp9(ClusterOptions {
+            latency_scale: 0.002,
+            op_timeout: Duration::from_millis(250),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn create_get_put_delete_round_trip() {
+        let cluster = fast_cluster();
+        let mut client = cluster.client(GcpLocation::Tokyo.dc());
+        let key = Key::from("user:1");
+        client.create(&key, Value::from("hello")).unwrap();
+        assert_eq!(client.get(&key).unwrap(), Value::from("hello"));
+        client.put(&key, Value::from("world")).unwrap();
+        assert_eq!(client.get(&key).unwrap(), Value::from("world"));
+        client.delete(&key).unwrap();
+        assert!(matches!(client.get(&key), Err(StoreError::KeyNotFound(_))));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn create_twice_fails_and_delete_missing_fails() {
+        let cluster = fast_cluster();
+        let mut client = cluster.client(GcpLocation::Oregon.dc());
+        let key = Key::from("dup");
+        client.create(&key, Value::from("a")).unwrap();
+        assert!(matches!(
+            client.create(&key, Value::from("b")),
+            Err(StoreError::KeyAlreadyExists(_))
+        ));
+        assert!(matches!(
+            client.delete(&Key::from("missing")),
+            Err(StoreError::KeyNotFound(_))
+        ));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cas_configuration_round_trip_and_cache() {
+        let cluster = fast_cluster();
+        let mut client = cluster.client(GcpLocation::Virginia.dc());
+        let key = Key::from("coded");
+        let config = Configuration::cas_default(
+            vec![
+                GcpLocation::Virginia.dc(),
+                GcpLocation::Oregon.dc(),
+                GcpLocation::LosAngeles.dc(),
+                GcpLocation::Frankfurt.dc(),
+                GcpLocation::London.dc(),
+            ],
+            3,
+            1,
+        );
+        client
+            .create_with_config(&key, Value::filler(5000), config)
+            .unwrap();
+        assert_eq!(client.get(&key).unwrap(), Value::filler(5000));
+        client.put(&key, Value::filler(2500)).unwrap();
+        // The second GET can use the client-side cache and complete in one phase.
+        assert_eq!(client.get(&key).unwrap(), Value::filler(2500));
+        let stats = client.stats();
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.puts, 1);
+        assert!(stats.one_phase_gets >= 1, "{stats:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let cluster = fast_cluster();
+        let mut client = cluster.client(GcpLocation::Tokyo.dc());
+        // CAS with n < k + 2f is invalid.
+        let bad = Configuration::cas_default(
+            vec![GcpLocation::Tokyo.dc(), GcpLocation::Oregon.dc(), GcpLocation::Virginia.dc()],
+            3,
+            1,
+        );
+        assert!(matches!(
+            client.create_with_config(&Key::from("bad"), Value::empty(), bad),
+            Err(StoreError::InvalidConfiguration(_))
+        ));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn two_clients_in_different_dcs_see_each_others_writes() {
+        let cluster = fast_cluster();
+        let key = Key::from("shared");
+        let mut tokyo = cluster.client(GcpLocation::Tokyo.dc());
+        let mut london = cluster.client(GcpLocation::London.dc());
+        tokyo.create(&key, Value::from("t0")).unwrap();
+        tokyo.put(&key, Value::from("from-tokyo")).unwrap();
+        assert_eq!(london.get(&key).unwrap(), Value::from("from-tokyo"));
+        london.put(&key, Value::from("from-london")).unwrap();
+        assert_eq!(tokyo.get(&key).unwrap(), Value::from("from-london"));
+        // The recorded history is linearizable.
+        assert!(cluster.recorder().check_all().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn history_recorder_sees_all_operations() {
+        let cluster = fast_cluster();
+        let mut client = cluster.client(GcpLocation::Sydney.dc());
+        let key = Key::from("audited");
+        client.create(&key, Value::from("0")).unwrap();
+        for i in 1..=5 {
+            client.put(&key, Value::from(format!("{i}").as_str())).unwrap();
+            client.get(&key).unwrap();
+        }
+        assert_eq!(cluster.recorder().len("audited"), 10);
+        assert!(cluster.recorder().check_all().is_empty());
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,530 @@
+//! The in-process deployment: per-DC server threads, the metadata service and the
+//! reconfiguration controller.
+
+use crate::inbox::DelayedInbox;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use legostore_cloud::CloudModel;
+use legostore_lincheck::HistoryRecorder;
+use legostore_proto::msg::{ProtoReply, ReconfigPayload};
+use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
+use legostore_proto::server::{DcServer, Inbound};
+use legostore_types::{
+    Configuration, DcId, Key, StoreError, StoreResult, Tag, Value,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of an in-process deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Factor applied to the cloud model's RTTs before sleeping (1.0 = real geo latencies;
+    /// tests use a small fraction so a 300 ms RTT becomes a few ms).
+    pub latency_scale: f64,
+    /// Metadata bytes per message (`o_m`).
+    pub metadata_bytes: u64,
+    /// Per-attempt operation timeout in *scaled* wall-clock time.
+    pub op_timeout: Duration,
+    /// Maximum operation attempts (initial + retries) before giving up.
+    pub max_attempts: u32,
+    /// Data center hosting the reconfiguration controller and authoritative metadata.
+    pub controller_dc: DcId,
+    /// Default fault tolerance used by CREATE's default configuration.
+    pub default_fault_tolerance: usize,
+    /// Whether GETs use the optimized one-phase fast paths.
+    pub optimized_get: bool,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            latency_scale: 0.05,
+            metadata_bytes: legostore_cloud::METADATA_BYTES,
+            op_timeout: Duration::from_millis(500),
+            max_attempts: 4,
+            controller_dc: DcId(7),
+            default_fault_tolerance: 1,
+            optimized_get: true,
+        }
+    }
+}
+
+/// A reply traveling back to a client or to the controller.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplyEnvelope {
+    /// The endpoint (operation attempt) this reply is for.
+    pub endpoint: u64,
+    /// Server data center that produced the reply.
+    pub from: DcId,
+    /// Instant the server emitted the reply.
+    pub sent_at: Instant,
+    /// Echoed protocol phase.
+    pub phase: u8,
+    /// Reply body.
+    pub reply: ProtoReply,
+}
+
+pub(crate) enum ControlMsg {
+    InstallKey {
+        key: Key,
+        config: Configuration,
+        tag: Tag,
+        payload: ReconfigPayload,
+    },
+    RemoveKey(Key),
+    SetFailed(bool),
+    GarbageCollect(usize),
+}
+
+pub(crate) enum ServerMsg {
+    Request {
+        reply_to: Sender<ReplyEnvelope>,
+        inbound: Inbound,
+    },
+    Control(ControlMsg),
+    Shutdown,
+}
+
+pub(crate) struct ClusterInner {
+    pub(crate) model: CloudModel,
+    pub(crate) options: ClusterOptions,
+    pub(crate) senders: HashMap<DcId, Sender<ServerMsg>>,
+    pub(crate) metadata: Mutex<HashMap<Key, Configuration>>,
+    pub(crate) recorder: Arc<HistoryRecorder>,
+    pub(crate) epoch: Instant,
+    pub(crate) next_client_id: AtomicU32,
+    pub(crate) next_endpoint: AtomicU64,
+}
+
+impl ClusterInner {
+    /// Nanoseconds since the cluster started (used as linearizability-check timestamps).
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// One-way + return delay the client should wait before consuming a reply from `from`.
+    pub(crate) fn reply_delay(&self, client: DcId, from: DcId, reply_bytes: u64) -> Duration {
+        let ms = self.model.rtt_ms(client, from)
+            + self.model.transfer_time_ms(from, client, reply_bytes);
+        Duration::from_secs_f64(ms * self.options.latency_scale / 1000.0)
+    }
+
+    pub(crate) fn send_request(
+        &self,
+        to: DcId,
+        reply_to: Sender<ReplyEnvelope>,
+        inbound: Inbound,
+    ) -> StoreResult<()> {
+        let sender = self
+            .senders
+            .get(&to)
+            .ok_or_else(|| StoreError::Transport(format!("unknown data center {to}")))?;
+        sender
+            .send(ServerMsg::Request { reply_to, inbound })
+            .map_err(|_| StoreError::Transport(format!("server {to} has shut down")))
+    }
+
+    pub(crate) fn control(&self, to: DcId, msg: ControlMsg) {
+        if let Some(sender) = self.senders.get(&to) {
+            let _ = sender.send(ServerMsg::Control(msg));
+        }
+    }
+}
+
+/// The in-process LEGOStore deployment.
+pub struct Cluster {
+    pub(crate) inner: Arc<ClusterInner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Spawns one server thread per data center of `model`.
+    pub fn new(model: CloudModel, options: ClusterOptions) -> Cluster {
+        let mut senders = HashMap::new();
+        let mut receivers: Vec<(DcId, Receiver<ServerMsg>)> = Vec::new();
+        for dc in model.dc_ids() {
+            let (tx, rx) = unbounded();
+            senders.insert(dc, tx);
+            receivers.push((dc, rx));
+        }
+        let inner = Arc::new(ClusterInner {
+            model,
+            options,
+            senders,
+            metadata: Mutex::new(HashMap::new()),
+            recorder: Arc::new(HistoryRecorder::new()),
+            epoch: Instant::now(),
+            next_client_id: AtomicU32::new(1),
+            next_endpoint: AtomicU64::new(1),
+        });
+        let handles = receivers
+            .into_iter()
+            .map(|(dc, rx)| {
+                std::thread::Builder::new()
+                    .name(format!("legostore-server-{dc}"))
+                    .spawn(move || server_loop(dc, rx))
+                    .expect("spawn server thread")
+            })
+            .collect();
+        Cluster { inner, handles }
+    }
+
+    /// Spawns a deployment over the paper's nine GCP data centers with default options.
+    pub fn gcp9(options: ClusterOptions) -> Cluster {
+        Cluster::new(CloudModel::gcp9(), options)
+    }
+
+    /// The cloud model this deployment spans.
+    pub fn model(&self) -> &CloudModel {
+        &self.inner.model
+    }
+
+    /// The options the deployment was built with.
+    pub fn options(&self) -> &ClusterOptions {
+        &self.inner.options
+    }
+
+    /// A client bound to data center `dc` (the paper's "client" component that the user
+    /// library talks to; users pick the nearest DC).
+    pub fn client(&self, dc: DcId) -> crate::client::StoreClient {
+        crate::client::StoreClient::new(self.inner.clone(), dc)
+    }
+
+    /// The shared operation-history recorder (for linearizability checking).
+    pub fn recorder(&self) -> Arc<HistoryRecorder> {
+        self.inner.recorder.clone()
+    }
+
+    /// The authoritative configuration of `key`, if it exists.
+    pub fn metadata_config(&self, key: &Key) -> Option<Configuration> {
+        self.inner.metadata.lock().get(key).cloned()
+    }
+
+    /// Marks a data center as failed: its server drops all traffic.
+    pub fn fail_dc(&self, dc: DcId) {
+        self.inner.control(dc, ControlMsg::SetFailed(true));
+    }
+
+    /// Recovers a previously failed data center.
+    pub fn recover_dc(&self, dc: DcId) {
+        self.inner.control(dc, ControlMsg::SetFailed(false));
+    }
+
+    /// Runs CAS garbage collection on every server, keeping `keep_recent` old versions.
+    pub fn garbage_collect(&self, keep_recent: usize) {
+        for dc in self.inner.model.dc_ids() {
+            self.inner.control(dc, ControlMsg::GarbageCollect(keep_recent));
+        }
+    }
+
+    /// The default configuration CREATE uses when none is given: ABD with majority quorums
+    /// over the `2f + 1` data centers nearest to the creating client (paper §3.1 footnote:
+    /// "a default configuration uses the nearest DCs").
+    pub fn default_config(&self, near: DcId) -> Configuration {
+        let f = self.inner.options.default_fault_tolerance;
+        let dcs: Vec<DcId> = self
+            .inner
+            .model
+            .nearest_dcs(near)
+            .into_iter()
+            .take(2 * f + 1)
+            .collect();
+        Configuration::abd_majority(dcs, f)
+    }
+
+    /// Installs `key` with an explicit configuration and initial value, bypassing the
+    /// networked CREATE path (used by experiments to set up many keys quickly).
+    pub fn install_key(&self, key: impl Into<Key>, config: Configuration, value: &Value) {
+        let key = key.into();
+        for (dc, payload) in DcServer::initial_payloads(&config, value) {
+            self.inner.control(
+                dc,
+                ControlMsg::InstallKey {
+                    key: key.clone(),
+                    config: config.clone(),
+                    tag: Tag::INITIAL,
+                    payload,
+                },
+            );
+        }
+        self.inner
+            .recorder
+            .register_key(key.as_str(), legostore_lincheck::recorder::fingerprint(value.as_bytes()));
+        self.inner.metadata.lock().insert(key, config);
+    }
+
+    /// Runs the reconfiguration protocol, moving `key` to `new_config`.
+    ///
+    /// Returns the wall-clock duration of the transfer (query → write → metadata update →
+    /// finish), which the paper reports as sub-second at real geo latencies.
+    pub fn reconfigure(&self, key: impl Into<Key>, new_config: Configuration) -> StoreResult<Duration> {
+        let key = key.into();
+        let old = self
+            .metadata_config(&key)
+            .ok_or_else(|| StoreError::KeyNotFound(key.clone()))?;
+        let started = Instant::now();
+        let controller_dc = self.inner.options.controller_dc;
+        let mut controller = ReconfigController::new(key.clone(), old, new_config);
+        let (tx, rx) = unbounded::<ReplyEnvelope>();
+        let endpoint = self.inner.next_endpoint.fetch_add(1, Ordering::Relaxed);
+        let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
+        let mut outbound = controller.start();
+        let deadline = Instant::now() + self.inner.options.op_timeout * 8;
+        let outcome = loop {
+            for out in outbound.drain(..) {
+                let inbound = Inbound {
+                    from: endpoint,
+                    msg_id: 0,
+                    phase: out.phase,
+                    key: out.key.clone(),
+                    epoch: out.epoch,
+                    msg: out.msg.clone(),
+                };
+                self.inner.send_request(out.to, tx.clone(), inbound)?;
+            }
+            // Collect replies until the controller advances.
+            let mut progressed = None;
+            while progressed.is_none() {
+                while let Ok(env) = rx.try_recv() {
+                    let delay = self
+                        .inner
+                        .reply_delay(controller_dc, env.from, env.reply.wire_size(self.inner.options.metadata_bytes));
+                    inbox.push(env.sent_at, delay, env);
+                }
+                if let Some(env) = inbox.next_ready(deadline) {
+                    match controller.on_reply(env.from, env.phase, env.reply) {
+                        ControllerProgress::Pending => {}
+                        ControllerProgress::Send(msgs) => progressed = Some(Ok(msgs)),
+                        ControllerProgress::Done(outcome) => progressed = Some(Err(outcome)),
+                    }
+                    continue;
+                }
+                let wake = inbox
+                    .next_available_at()
+                    .unwrap_or(deadline)
+                    .min(deadline);
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
+                }
+                match rx.recv_timeout(wake.saturating_duration_since(now).max(Duration::from_micros(50))) {
+                    Ok(env) => {
+                        let delay = self.inner.reply_delay(
+                            controller_dc,
+                            env.from,
+                            env.reply.wire_size(self.inner.options.metadata_bytes),
+                        );
+                        inbox.push(env.sent_at, delay, env);
+                    }
+                    Err(_) => {
+                        if Instant::now() >= deadline {
+                            return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
+                        }
+                    }
+                }
+            }
+            match progressed.expect("set above") {
+                Ok(msgs) => outbound = msgs,
+                Err(outcome) => break outcome,
+            }
+        };
+        // Update the metadata service, then release the old configuration's servers.
+        self.inner
+            .metadata
+            .lock()
+            .insert(key.clone(), outcome.new_config.clone());
+        for out in &outcome.finish_messages {
+            let inbound = Inbound {
+                from: endpoint,
+                msg_id: 0,
+                phase: out.phase,
+                key: out.key.clone(),
+                epoch: out.epoch,
+                msg: out.msg.clone(),
+            };
+            self.inner.send_request(out.to, tx.clone(), inbound)?;
+        }
+        Ok(started.elapsed())
+    }
+
+    /// Shuts the deployment down, joining every server thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for sender in self.inner.senders.values() {
+            let _ = sender.send(ServerMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The per-DC server thread: dispatches protocol messages to the shared `DcServer` state and
+/// routes replies back to the endpoint that sent each (possibly deferred) request.
+fn server_loop(dc: DcId, rx: Receiver<ServerMsg>) {
+    let mut server = DcServer::new(dc);
+    let mut reply_routes: HashMap<u64, Sender<ReplyEnvelope>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ServerMsg::Shutdown => break,
+            ServerMsg::Control(ctrl) => match ctrl {
+                ControlMsg::InstallKey {
+                    key,
+                    config,
+                    tag,
+                    payload,
+                } => server.install_key(key, config, tag, payload),
+                ControlMsg::RemoveKey(key) => {
+                    server.remove_key(&key);
+                }
+                ControlMsg::SetFailed(failed) => server.set_failed(failed),
+                ControlMsg::GarbageCollect(keep) => {
+                    server.garbage_collect(keep);
+                }
+            },
+            ServerMsg::Request { reply_to, inbound } => {
+                reply_routes.insert(inbound.from, reply_to);
+                // Bound the routing table: drop entries far older than any plausible
+                // in-flight operation.
+                if reply_routes.len() > 100_000 {
+                    reply_routes.clear();
+                }
+                let replies = server.handle(inbound);
+                for r in replies {
+                    if let Some(route) = reply_routes.get(&r.to) {
+                        let _ = route.send(ReplyEnvelope {
+                            endpoint: r.to,
+                            from: dc,
+                            sent_at: Instant::now(),
+                            phase: r.phase,
+                            reply: r.reply,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_cloud::GcpLocation;
+
+    fn fast_options() -> ClusterOptions {
+        ClusterOptions {
+            latency_scale: 0.002,
+            op_timeout: Duration::from_millis(250),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cluster_spins_up_and_shuts_down() {
+        let cluster = Cluster::gcp9(fast_options());
+        assert_eq!(cluster.model().num_dcs(), 9);
+        assert!(cluster.metadata_config(&Key::from("nothing")).is_none());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn default_config_uses_nearest_dcs() {
+        let cluster = Cluster::gcp9(fast_options());
+        let tokyo = GcpLocation::Tokyo.dc();
+        let config = cluster.default_config(tokyo);
+        assert_eq!(config.n, 3);
+        assert!(config.dcs.contains(&tokyo));
+        config.validate().unwrap();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn install_key_registers_metadata_and_servers() {
+        let cluster = Cluster::gcp9(fast_options());
+        let config = Configuration::cas_default(
+            vec![
+                GcpLocation::Tokyo.dc(),
+                GcpLocation::Singapore.dc(),
+                GcpLocation::Oregon.dc(),
+                GcpLocation::Virginia.dc(),
+                GcpLocation::Frankfurt.dc(),
+            ],
+            3,
+            1,
+        );
+        cluster.install_key("wiki", config.clone(), &Value::filler(333));
+        assert_eq!(cluster.metadata_config(&Key::from("wiki")).unwrap().describe(), "CAS(5,3)");
+        // A client can read the installed value.
+        let mut client = cluster.client(GcpLocation::Tokyo.dc());
+        let v = client.get(&Key::from("wiki")).expect("get succeeds");
+        assert_eq!(v, Value::filler(333));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn reconfigure_moves_a_key_between_protocols() {
+        let cluster = Cluster::gcp9(fast_options());
+        let tokyo = GcpLocation::Tokyo.dc();
+        let abd = Configuration::abd_majority(
+            vec![tokyo, GcpLocation::LosAngeles.dc(), GcpLocation::Oregon.dc()],
+            1,
+        );
+        cluster.install_key("k", abd, &Value::from("original"));
+        let mut client = cluster.client(tokyo);
+        client.put(&Key::from("k"), Value::from("v2")).unwrap();
+
+        let new_config = Configuration::cas_default(
+            vec![
+                GcpLocation::Singapore.dc(),
+                GcpLocation::Frankfurt.dc(),
+                GcpLocation::Virginia.dc(),
+                GcpLocation::Oregon.dc(),
+            ],
+            2,
+            1,
+        );
+        let took = cluster.reconfigure("k", new_config).expect("reconfig succeeds");
+        assert!(took < Duration::from_secs(5));
+        let meta = cluster.metadata_config(&Key::from("k")).unwrap();
+        assert_eq!(meta.describe(), "CAS(4,2)");
+        assert_eq!(meta.epoch.0, 1);
+        // Reads (from a fresh client and from the stale one) observe the latest value.
+        let mut fresh = cluster.client(GcpLocation::Frankfurt.dc());
+        assert_eq!(fresh.get(&Key::from("k")).unwrap(), Value::from("v2"));
+        assert_eq!(client.get(&Key::from("k")).unwrap(), Value::from("v2"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failed_dc_is_tolerated_by_quorums() {
+        let cluster = Cluster::gcp9(fast_options());
+        let tokyo = GcpLocation::Tokyo.dc();
+        let config = Configuration::abd_majority(
+            vec![tokyo, GcpLocation::LosAngeles.dc(), GcpLocation::Oregon.dc()],
+            1,
+        );
+        cluster.install_key("k", config, &Value::from("v"));
+        cluster.fail_dc(GcpLocation::LosAngeles.dc());
+        let mut client = cluster.client(tokyo);
+        // The operation may need a timeout-driven retry with a widened quorum, but must
+        // succeed because only one of three DCs failed.
+        let got = client.get(&Key::from("k")).expect("tolerates one failure");
+        assert_eq!(got, Value::from("v"));
+        client.put(&Key::from("k"), Value::from("v2")).expect("puts tolerate failure too");
+        cluster.recover_dc(GcpLocation::LosAngeles.dc());
+        assert_eq!(client.get(&Key::from("k")).unwrap(), Value::from("v2"));
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,142 @@
+//! Client-side delayed inbox: delivers server replies only after the modeled network delay
+//! has elapsed.
+//!
+//! Server threads answer instantly (their processing time is negligible in the paper's
+//! setting too); what dominates real deployments is the inter-DC round trip. The inbox
+//! re-creates that on the receiving side: each reply is tagged with the instant it would
+//! arrive given the cloud model's RTT and transfer time, and [`DelayedInbox::next_ready`]
+//! returns replies in arrival order, sleeping until the earliest one if necessary.
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// A reply waiting for its modeled arrival time.
+struct Delayed<T> {
+    available_at: Instant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Delayed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.available_at == other.available_at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Delayed<T> {}
+impl<T> PartialOrd for Delayed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Delayed<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest time on top.
+        other
+            .available_at
+            .cmp(&self.available_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Orders arbitrary items by their modeled arrival instant.
+pub struct DelayedInbox<T> {
+    heap: BinaryHeap<Delayed<T>>,
+    seq: u64,
+}
+
+impl<T> Default for DelayedInbox<T> {
+    fn default() -> Self {
+        DelayedInbox {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<T> DelayedInbox<T> {
+    /// Creates an empty inbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an item that becomes visible `delay` after `sent_at`.
+    pub fn push(&mut self, sent_at: Instant, delay: Duration, item: T) {
+        self.seq += 1;
+        self.heap.push(Delayed {
+            available_at: sent_at + delay,
+            seq: self.seq,
+            item,
+        });
+    }
+
+    /// Number of buffered items (ready or not).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Instant at which the earliest buffered item becomes available.
+    pub fn next_available_at(&self) -> Option<Instant> {
+        self.heap.peek().map(|d| d.available_at)
+    }
+
+    /// Returns the earliest item, sleeping until its modeled arrival time if needed, but
+    /// never sleeping past `deadline`. Returns `None` if the inbox is empty or the earliest
+    /// item would arrive after the deadline.
+    pub fn next_ready(&mut self, deadline: Instant) -> Option<T> {
+        let available_at = self.heap.peek()?.available_at;
+        if available_at > deadline {
+            return None;
+        }
+        let now = Instant::now();
+        if available_at > now {
+            std::thread::sleep(available_at - now);
+        }
+        Some(self.heap.pop().expect("peeked").item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_come_out_in_arrival_order() {
+        let mut inbox = DelayedInbox::new();
+        let t0 = Instant::now();
+        inbox.push(t0, Duration::from_millis(30), "slow");
+        inbox.push(t0, Duration::from_millis(1), "fast");
+        inbox.push(t0, Duration::from_millis(10), "medium");
+        let deadline = t0 + Duration::from_secs(1);
+        assert_eq!(inbox.next_ready(deadline), Some("fast"));
+        assert_eq!(inbox.next_ready(deadline), Some("medium"));
+        assert_eq!(inbox.next_ready(deadline), Some("slow"));
+        assert_eq!(inbox.next_ready(deadline), None);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn deadline_prevents_waiting_for_far_future_items() {
+        let mut inbox = DelayedInbox::new();
+        let t0 = Instant::now();
+        inbox.push(t0, Duration::from_secs(60), "later");
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox.next_ready(t0 + Duration::from_millis(5)), None);
+        assert_eq!(inbox.len(), 1, "item must stay buffered");
+        assert!(inbox.next_available_at().unwrap() > t0 + Duration::from_secs(59));
+    }
+
+    #[test]
+    fn waits_until_items_become_available() {
+        let mut inbox = DelayedInbox::new();
+        let t0 = Instant::now();
+        inbox.push(t0, Duration::from_millis(20), 42);
+        let got = inbox.next_ready(t0 + Duration::from_secs(1));
+        assert_eq!(got, Some(42));
+        assert!(Instant::now().duration_since(t0) >= Duration::from_millis(19));
+    }
+}

@@ -1,0 +1,28 @@
+//! The runnable LEGOStore: a multi-threaded, in-process deployment of the protocol stack.
+//!
+//! The paper's prototype runs one server process per GCP data center plus client processes
+//! co-located with users. This crate reproduces that deployment inside one process: every
+//! data center's server runs on its own thread behind a channel, clients are synchronous
+//! handles that implement the user-facing CREATE/GET/PUT/DELETE API, and the measured
+//! inter-DC round-trip times of the cloud model are injected on the client side (scaled by a
+//! configurable factor so tests finish quickly). Because the protocol state machines come
+//! from `legostore-proto` unchanged, the concurrency behaviour — quorum waiting, blocking
+//! during reconfigurations, fail-over to new configurations — is the real thing; only the
+//! wire is simulated.
+//!
+//! Main entry points:
+//!
+//! * [`Cluster`] — builds and owns the per-DC server threads plus the metadata service.
+//! * [`StoreClient`] — a LEGOStore client bound to one data center
+//!   ([`Cluster::client`]), offering linearizable `create` / `get` / `put` / `delete`.
+//! * [`Cluster::reconfigure`] — runs the reconfiguration controller (Algorithm 1) against
+//!   the live deployment.
+//! * [`Cluster::recorder`] — the operation history recorder whose per-key histories can be
+//!   checked for linearizability with `legostore-lincheck`.
+
+pub mod client;
+pub mod cluster;
+pub mod inbox;
+
+pub use client::StoreClient;
+pub use cluster::{Cluster, ClusterOptions};

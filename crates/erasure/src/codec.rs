@@ -1,0 +1,362 @@
+//! Systematic `(n, k)` Reed–Solomon codec.
+//!
+//! The encoding matrix is `V · V_top^{-1}` where `V` is an `n x k` Vandermonde matrix with
+//! distinct evaluation points; this makes the first `k` codeword symbols equal to the data
+//! shards (systematic) while preserving the MDS property that *any* `k` symbols suffice to
+//! reconstruct the data.
+
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// Errors returned by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Invalid code parameters (`k == 0`, `n < k`, or `n > 255`).
+    InvalidParameters { n: usize, k: usize },
+    /// Fewer than `k` distinct symbols were supplied to the decoder.
+    NotEnoughShards { have: usize, need: usize },
+    /// Supplied shards disagree in length.
+    ShardLengthMismatch,
+    /// A shard index was out of range or repeated.
+    BadShardIndex(usize),
+    /// The wrong number of data shards was supplied to `encode`.
+    WrongDataShardCount { have: usize, need: usize },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::InvalidParameters { n, k } => write!(f, "invalid RS parameters n={n} k={k}"),
+            CodecError::NotEnoughShards { have, need } => {
+                write!(f, "not enough shards: have {have}, need {need}")
+            }
+            CodecError::ShardLengthMismatch => write!(f, "shards have differing lengths"),
+            CodecError::BadShardIndex(i) => write!(f, "bad shard index {i}"),
+            CodecError::WrongDataShardCount { have, need } => {
+                write!(f, "expected {need} data shards, got {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A systematic Reed–Solomon code with length `n` and dimension `k`.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    n: usize,
+    k: usize,
+    /// `n x k` encoding matrix whose top `k x k` block is the identity.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates an `(n, k)` code. `1 <= k <= n <= 255`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodecError> {
+        if k == 0 || n < k || n > 255 {
+            return Err(CodecError::InvalidParameters { n, k });
+        }
+        let vander = Matrix::vandermonde(n, k);
+        let top = vander.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverse()
+            .expect("top Vandermonde block is always invertible");
+        let encode_matrix = vander.mul(&top_inv);
+        Ok(ReedSolomon { n, k, encode_matrix })
+    }
+
+    /// Code length (total number of codeword symbols).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Code dimension (number of data shards).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Row of the encoding matrix used to produce symbol `i`.
+    pub fn encode_row(&self, i: usize) -> &[u8] {
+        self.encode_matrix.row(i)
+    }
+
+    /// Encodes `k` equal-length data shards into `n` codeword symbols.
+    ///
+    /// The first `k` output symbols are byte-identical to the inputs (systematic code); the
+    /// remaining `n - k` are parity.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodecError> {
+        if data.len() != self.k {
+            return Err(CodecError::WrongDataShardCount {
+                have: data.len(),
+                need: self.k,
+            });
+        }
+        let len = data.first().map(|d| d.len()).unwrap_or(0);
+        if data.iter().any(|d| d.len() != len) {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        let mut out = Vec::with_capacity(self.n);
+        for row in 0..self.n {
+            if row < self.k {
+                out.push(data[row].clone());
+                continue;
+            }
+            let mut shard = vec![0u8; len];
+            let coeffs = self.encode_matrix.row(row);
+            for (j, d) in data.iter().enumerate() {
+                gf256::mul_acc_slice(&mut shard, d, coeffs[j]);
+            }
+            out.push(shard);
+        }
+        Ok(out)
+    }
+
+    /// Encodes only the single codeword symbol with index `index` (0-based).
+    ///
+    /// Useful when a server needs to regenerate its own symbol without materializing all
+    /// `n` symbols.
+    pub fn encode_single(&self, data: &[Vec<u8>], index: usize) -> Result<Vec<u8>, CodecError> {
+        if data.len() != self.k {
+            return Err(CodecError::WrongDataShardCount {
+                have: data.len(),
+                need: self.k,
+            });
+        }
+        if index >= self.n {
+            return Err(CodecError::BadShardIndex(index));
+        }
+        let len = data.first().map(|d| d.len()).unwrap_or(0);
+        if data.iter().any(|d| d.len() != len) {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        if index < self.k {
+            return Ok(data[index].clone());
+        }
+        let mut shard = vec![0u8; len];
+        let coeffs = self.encode_matrix.row(index);
+        for (j, d) in data.iter().enumerate() {
+            gf256::mul_acc_slice(&mut shard, d, coeffs[j]);
+        }
+        Ok(shard)
+    }
+
+    /// Recovers the `k` data shards from any `k` (or more) codeword symbols.
+    ///
+    /// `shards` maps codeword index → shard bytes; extra shards beyond `k` are ignored.
+    pub fn decode_data(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodecError> {
+        // Deduplicate and validate indices.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut chosen: Vec<(usize, &Vec<u8>)> = Vec::new();
+        for (idx, data) in shards {
+            if *idx >= self.n {
+                return Err(CodecError::BadShardIndex(*idx));
+            }
+            if seen.insert(*idx) {
+                chosen.push((*idx, data));
+            }
+            if chosen.len() == self.k {
+                break;
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(CodecError::NotEnoughShards {
+                have: chosen.len(),
+                need: self.k,
+            });
+        }
+        let len = chosen[0].1.len();
+        if chosen.iter().any(|(_, d)| d.len() != len) {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        // Fast path: all k data shards present.
+        if chosen.iter().all(|(i, _)| *i < self.k) {
+            let mut out: Vec<Option<Vec<u8>>> = vec![None; self.k];
+            for (i, d) in &chosen {
+                out[*i] = Some((*d).clone());
+            }
+            if out.iter().all(|o| o.is_some()) {
+                return Ok(out.into_iter().map(|o| o.unwrap()).collect());
+            }
+        }
+        // General path: invert the sub-matrix of encode rows for the chosen symbols.
+        let rows: Vec<usize> = chosen.iter().map(|(i, _)| *i).collect();
+        let sub = self.encode_matrix.select_rows(&rows);
+        let inv = sub
+            .inverse()
+            .expect("any k rows of an MDS encode matrix are invertible");
+        let mut out = vec![vec![0u8; len]; self.k];
+        for (data_idx, out_shard) in out.iter_mut().enumerate() {
+            for (col, (_, sym)) in chosen.iter().enumerate() {
+                gf256::mul_acc_slice(out_shard, sym, inv.get(data_idx, col));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs *all* `n` codeword symbols from any `k` of them.
+    pub fn reconstruct_all(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodecError> {
+        let data = self.decode_data(shards)?;
+        self.encode(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.gen::<u8>()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parameters_validated() {
+        assert!(ReedSolomon::new(5, 0).is_err());
+        assert!(ReedSolomon::new(3, 5).is_err());
+        assert!(ReedSolomon::new(300, 3).is_err());
+        assert!(ReedSolomon::new(5, 3).is_ok());
+        assert!(ReedSolomon::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_data() {
+        let rs = ReedSolomon::new(6, 3).unwrap();
+        let data = random_data(3, 100, 1);
+        let shards = rs.encode(&data).unwrap();
+        assert_eq!(shards.len(), 6);
+        assert_eq!(&shards[..3], &data[..]);
+    }
+
+    #[test]
+    fn encode_single_matches_full_encode() {
+        let rs = ReedSolomon::new(7, 4).unwrap();
+        let data = random_data(4, 53, 2);
+        let all = rs.encode(&data).unwrap();
+        for i in 0..7 {
+            assert_eq!(rs.encode_single(&data, i).unwrap(), all[i], "symbol {i}");
+        }
+        assert!(rs.encode_single(&data, 7).is_err());
+    }
+
+    #[test]
+    fn decode_from_any_k_symbols() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = random_data(3, 64, 3);
+        let shards = rs.encode(&data).unwrap();
+        // Try every 3-subset of the 5 symbols.
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                for c in (b + 1)..5 {
+                    let subset = vec![
+                        (a, shards[a].clone()),
+                        (b, shards[b].clone()),
+                        (c, shards[c].clone()),
+                    ];
+                    let decoded = rs.decode_data(&subset).unwrap();
+                    assert_eq!(decoded, data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_fails_with_fewer_than_k() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = random_data(3, 16, 4);
+        let shards = rs.encode(&data).unwrap();
+        let subset = vec![(0usize, shards[0].clone()), (4, shards[4].clone())];
+        assert_eq!(
+            rs.decode_data(&subset),
+            Err(CodecError::NotEnoughShards { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn duplicate_shards_do_not_count_twice() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = random_data(3, 16, 5);
+        let shards = rs.encode(&data).unwrap();
+        let subset = vec![
+            (0usize, shards[0].clone()),
+            (0, shards[0].clone()),
+            (1, shards[1].clone()),
+        ];
+        assert!(matches!(
+            rs.decode_data(&subset),
+            Err(CodecError::NotEnoughShards { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = vec![vec![1u8; 8], vec![2u8; 9]];
+        assert_eq!(rs.encode(&data), Err(CodecError::ShardLengthMismatch));
+    }
+
+    #[test]
+    fn reconstruct_all_round_trips() {
+        let rs = ReedSolomon::new(6, 4).unwrap();
+        let data = random_data(4, 40, 6);
+        let shards = rs.encode(&data).unwrap();
+        let subset: Vec<(usize, Vec<u8>)> =
+            [1usize, 3, 4, 5].iter().map(|&i| (i, shards[i].clone())).collect();
+        let rebuilt = rs.reconstruct_all(&subset).unwrap();
+        assert_eq!(rebuilt, shards);
+    }
+
+    #[test]
+    fn replication_degenerate_case_k1() {
+        // k = 1 means every symbol equals the data; CAS(k=1) is "replication via CAS".
+        let rs = ReedSolomon::new(4, 1).unwrap();
+        let data = vec![vec![7u8, 8, 9]];
+        let shards = rs.encode(&data).unwrap();
+        for s in &shards {
+            assert_eq!(*s, data[0]);
+        }
+        let decoded = rs.decode_data(&[(3, shards[3].clone())]).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn empty_shards_round_trip() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = vec![vec![], vec![], vec![]];
+        let shards = rs.encode(&data).unwrap();
+        assert!(shards.iter().all(|s| s.is_empty()));
+        let decoded = rs
+            .decode_data(&[(2, vec![]), (3, vec![]), (4, vec![])])
+            .unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_erasures_round_trip(
+            k in 1usize..6,
+            extra in 1usize..5,
+            len in 0usize..200,
+            seed: u64,
+        ) {
+            let n = k + extra;
+            let rs = ReedSolomon::new(n, k).unwrap();
+            let data = random_data(k, len, seed);
+            let shards = rs.encode(&data).unwrap();
+            // Pick a pseudo-random k-subset determined by the seed.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xDEADBEEF);
+            let mut indices: Vec<usize> = (0..n).collect();
+            indices.shuffle(&mut rng);
+            let subset: Vec<(usize, Vec<u8>)> =
+                indices[..k].iter().map(|&i| (i, shards[i].clone())).collect();
+            let decoded = rs.decode_data(&subset).unwrap();
+            prop_assert_eq!(decoded, data);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Arithmetic in GF(2^8).
+//!
+//! Elements are bytes; addition is XOR; multiplication is polynomial multiplication modulo
+//! the primitive polynomial `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`). Multiplication and
+//! division go through log/antilog tables built once at start-up, which is the standard
+//! technique in storage erasure coders.
+
+/// The primitive polynomial used to construct the field (without the leading x^8 term the
+/// low byte is 0x1D).
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Generator element whose powers enumerate all non-zero field elements.
+pub const GENERATOR: u8 = 0x02;
+
+/// Precomputed exp/log tables.
+struct Tables {
+    /// `exp[i] = GENERATOR^i` for `i in 0..510` (doubled to avoid a modulo in `mul`).
+    exp: [u8; 512],
+    /// `log[x]` = discrete log of `x` base GENERATOR; `log[0]` is unused.
+    log: [u16; 256],
+}
+
+static TABLES: std::sync::OnceLock<Tables> = std::sync::OnceLock::new();
+
+fn tables() -> &'static Tables {
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for i in 0..255usize {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        for i in 255..512usize {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (XOR). Subtraction is identical.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    let la = t.log[a as usize] as usize;
+    let lb = t.log[b as usize] as usize;
+    t.exp[la + lb]
+}
+
+/// Field division; panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let la = t.log[a as usize] as usize;
+    let lb = t.log[b as usize] as usize;
+    t.exp[la + 255 - lb]
+}
+
+/// Multiplicative inverse; panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    div(1, a)
+}
+
+/// Exponentiation `a^p` in the field.
+pub fn pow(a: u8, mut p: u32) -> u8 {
+    if a == 0 {
+        return if p == 0 { 1 } else { 0 };
+    }
+    let t = tables();
+    let la = t.log[a as usize] as u64;
+    p %= 255;
+    let idx = (la * p as u64) % 255;
+    t.exp[idx as usize]
+}
+
+/// Multiply-accumulate over byte slices: `dst[i] ^= c * src[i]`.
+///
+/// This is the inner loop of encoding and decoding; it is written so the compiler can
+/// auto-vectorize the XOR when `c == 1`.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+/// Multiply a slice in place by a constant: `dst[i] = c * dst[i]`.
+pub fn mul_slice(dst: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            *d = t.exp[lc + t.log[*d as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_multiplication_table_spot_checks() {
+        assert_eq!(mul(0, 17), 0);
+        assert_eq!(mul(1, 17), 17);
+        assert_eq!(mul(2, 2), 4);
+        // 0x80 * 2 wraps through the primitive polynomial: 0x100 ^ 0x11D = 0x1D.
+        assert_eq!(mul(0x80, 2), 0x1D);
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        for a in 1..=255u8 {
+            let ia = inv(a);
+            assert_eq!(mul(a, ia), 1, "a={a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = div(3, 0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 7, 0x53, 0xFF] {
+            let mut acc = 1u8;
+            for p in 0..20u32 {
+                assert_eq!(pow(a, p), acc, "a={a} p={p}");
+                acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // GENERATOR^i must enumerate all 255 non-zero elements before repeating.
+        let mut seen = std::collections::HashSet::new();
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(seen.insert(x));
+            x = mul(x, GENERATOR);
+        }
+        assert_eq!(x, 1);
+        assert_eq!(seen.len(), 255);
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 0x1D, 0xFF] {
+            let mut dst = vec![0xAAu8; 256];
+            let mut expect = dst.clone();
+            mul_acc_slice(&mut dst, &src, c);
+            for (e, s) in expect.iter_mut().zip(src.iter()) {
+                *e = add(*e, mul(c, *s));
+            }
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar() {
+        let mut v: Vec<u8> = (0..=255u8).collect();
+        let orig = v.clone();
+        mul_slice(&mut v, 0x37);
+        for (o, n) in orig.iter().zip(v.iter()) {
+            assert_eq!(*n, mul(*o, 0x37));
+        }
+        let mut z = orig.clone();
+        mul_slice(&mut z, 0);
+        assert!(z.iter().all(|b| *b == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a: u8, b: u8, c: u8) {
+            // Commutativity.
+            prop_assert_eq!(mul(a, b), mul(b, a));
+            prop_assert_eq!(add(a, b), add(b, a));
+            // Associativity.
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+            prop_assert_eq!(add(add(a, b), c), add(a, add(b, c)));
+            // Distributivity.
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+            // Identities.
+            prop_assert_eq!(mul(a, 1), a);
+            prop_assert_eq!(add(a, 0), a);
+            // Additive inverse (characteristic 2).
+            prop_assert_eq!(add(a, a), 0);
+        }
+
+        #[test]
+        fn division_is_inverse_of_multiplication(a: u8, b in 1u8..=255) {
+            prop_assert_eq!(div(mul(a, b), b), a);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Conversion between application values and CAS codeword symbols.
+//!
+//! A value of `L` bytes is split into `k` data shards of `ceil((L + 8) / k)` bytes (an
+//! 8-byte little-endian length header is prepended so decoding can strip the padding), then
+//! encoded into `n` codeword symbols with [`ReedSolomon`]. Each symbol is tagged with its
+//! index so that the decoder can invert the right rows of the generator matrix regardless of
+//! which `k` data centers respond.
+
+use crate::codec::{CodecError, ReedSolomon};
+
+/// One codeword symbol together with its index in the codeword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Index of this symbol (0-based; equals the position of the hosting DC in the
+    /// configuration's placement list).
+    pub index: usize,
+    /// Symbol bytes.
+    pub data: Vec<u8>,
+}
+
+impl Shard {
+    /// Creates a shard.
+    pub fn new(index: usize, data: Vec<u8>) -> Self {
+        Shard { index, data }
+    }
+
+    /// Size of the symbol in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the symbol carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+const LEN_HEADER: usize = 8;
+
+/// Size in bytes of each codeword symbol for a value of `value_len` bytes under an
+/// `(_, k)` code. This is what the cost model charges per symbol transfer (`o/k` in the
+/// paper, plus the negligible 8-byte header).
+pub fn shard_len(value_len: usize, k: usize) -> usize {
+    assert!(k > 0, "k must be positive");
+    (value_len + LEN_HEADER).div_ceil(k)
+}
+
+/// Encodes `value` into `n` codeword symbols from which any `k` reconstruct the value.
+pub fn encode_value(value: &[u8], n: usize, k: usize) -> Result<Vec<Shard>, CodecError> {
+    let rs = ReedSolomon::new(n, k)?;
+    let slen = shard_len(value.len(), k);
+    let mut padded = Vec::with_capacity(slen * k);
+    padded.extend_from_slice(&(value.len() as u64).to_le_bytes());
+    padded.extend_from_slice(value);
+    padded.resize(slen * k, 0);
+    let data: Vec<Vec<u8>> = padded.chunks(slen).map(|c| c.to_vec()).collect();
+    debug_assert_eq!(data.len(), k);
+    let symbols = rs.encode(&data)?;
+    Ok(symbols
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| Shard::new(i, d))
+        .collect())
+}
+
+/// Reconstructs the original value from any `k` distinct shards of an `(n, k)` codeword.
+pub fn decode_value(shards: &[Shard], n: usize, k: usize) -> Result<Vec<u8>, CodecError> {
+    let rs = ReedSolomon::new(n, k)?;
+    let pairs: Vec<(usize, Vec<u8>)> = shards.iter().map(|s| (s.index, s.data.clone())).collect();
+    let data = rs.decode_data(&pairs)?;
+    let mut joined = Vec::with_capacity(data.len() * data.first().map(|d| d.len()).unwrap_or(0));
+    for d in &data {
+        joined.extend_from_slice(d);
+    }
+    if joined.len() < LEN_HEADER {
+        return Err(CodecError::ShardLengthMismatch);
+    }
+    let mut len_bytes = [0u8; LEN_HEADER];
+    len_bytes.copy_from_slice(&joined[..LEN_HEADER]);
+    let value_len = u64::from_le_bytes(len_bytes) as usize;
+    if joined.len() < LEN_HEADER + value_len {
+        return Err(CodecError::ShardLengthMismatch);
+    }
+    Ok(joined[LEN_HEADER..LEN_HEADER + value_len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shard_len_covers_value_and_header() {
+        assert_eq!(shard_len(0, 1), 8);
+        assert_eq!(shard_len(1024, 1), 1032);
+        assert_eq!(shard_len(1024, 3), 344); // ceil(1032/3)
+        assert!(shard_len(1000, 4) * 4 >= 1008);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn shard_len_rejects_zero_k() {
+        shard_len(10, 0);
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let value = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let shards = encode_value(&value, 5, 3).unwrap();
+        assert_eq!(shards.len(), 5);
+        let decoded = decode_value(&shards[1..4], 5, 3).unwrap();
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn round_trip_with_parity_only() {
+        let value = vec![0xABu8; 4096];
+        let shards = encode_value(&value, 6, 2).unwrap();
+        // Decode from the last two (parity) symbols only.
+        let decoded = decode_value(&shards[4..6], 6, 2).unwrap();
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn empty_value_round_trips() {
+        let shards = encode_value(&[], 4, 2).unwrap();
+        let decoded = decode_value(&shards[..2], 4, 2).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn insufficient_shards_fail() {
+        let value = vec![1u8; 100];
+        let shards = encode_value(&value, 5, 3).unwrap();
+        assert!(matches!(
+            decode_value(&shards[..2], 5, 3),
+            Err(CodecError::NotEnoughShards { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_sizes_are_uniform_and_expected() {
+        let value = vec![7u8; 1000];
+        let shards = encode_value(&value, 9, 4).unwrap();
+        let expect = shard_len(1000, 4);
+        for s in &shards {
+            assert_eq!(s.len(), expect);
+            assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn arbitrary_values_round_trip(
+            value in proptest::collection::vec(any::<u8>(), 0..2000),
+            k in 1usize..6,
+            extra in 2usize..5,
+            pick_seed: u64,
+        ) {
+            let n = k + extra;
+            let shards = encode_value(&value, n, k).unwrap();
+            // Deterministically pick k distinct indices based on pick_seed.
+            let mut indices: Vec<usize> = (0..n).collect();
+            let mut s = pick_seed;
+            for i in (1..indices.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                indices.swap(i, (s as usize) % (i + 1));
+            }
+            let chosen: Vec<Shard> = indices[..k].iter().map(|&i| shards[i].clone()).collect();
+            let decoded = decode_value(&chosen, n, k).unwrap();
+            prop_assert_eq!(decoded, value);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Single-register histories and the linearizability decision procedure.
+
+use std::collections::HashSet;
+
+/// What an operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperationKind {
+    /// A read that returned `value`.
+    Read {
+        /// Value observed by the read.
+        value: u64,
+    },
+    /// A write of `value`.
+    Write {
+        /// Value installed by the write.
+        value: u64,
+    },
+}
+
+/// One completed operation in a history.
+///
+/// Times are arbitrary monotonically comparable integers (the recorder uses nanoseconds for
+/// the threaded runtime and virtual microseconds for the simulator). `invoke < ret` must
+/// hold for every operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Operation {
+    /// Identifier of the client that issued the operation (informational).
+    pub client: u32,
+    /// Operation kind and value.
+    pub kind: OperationKind,
+    /// Invocation timestamp.
+    pub invoke: u64,
+    /// Response timestamp.
+    pub ret: u64,
+}
+
+impl Operation {
+    /// Convenience constructor for a read.
+    pub fn read(client: u32, value: u64, invoke: u64, ret: u64) -> Self {
+        Operation {
+            client,
+            kind: OperationKind::Read { value },
+            invoke,
+            ret,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(client: u32, value: u64, invoke: u64, ret: u64) -> Self {
+        Operation {
+            client,
+            kind: OperationKind::Write { value },
+            invoke,
+            ret,
+        }
+    }
+}
+
+/// Outcome of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// A witness linearization order exists; the indices are positions in the (sorted)
+    /// operation list in linearization order.
+    Linearizable { order: Vec<usize> },
+    /// No linearization exists.
+    NotLinearizable,
+    /// The history was malformed (an operation returned before it was invoked).
+    Malformed { index: usize },
+}
+
+impl CheckOutcome {
+    /// True when the history is linearizable.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CheckOutcome::Linearizable { .. })
+    }
+}
+
+/// A history of completed operations over one register.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The register's value before any write in the history (LEGOStore's CREATE installs an
+    /// initial value; reads may legitimately observe it).
+    pub initial_value: u64,
+    /// The completed operations, in any order.
+    pub operations: Vec<Operation>,
+}
+
+impl History {
+    /// Creates an empty history with the given initial register value.
+    pub fn new(initial_value: u64) -> Self {
+        History {
+            initial_value,
+            operations: Vec::new(),
+        }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Operation) {
+        self.operations.push(op);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// True if the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Decides linearizability of the history.
+    ///
+    /// The search linearizes operations one at a time. An operation is a candidate for the
+    /// next linearization point iff every not-yet-linearized operation's response is not
+    /// strictly before its invocation (i.e. nothing pending precedes it in real time). Reads
+    /// must observe the current register value; writes update it. The search memoizes
+    /// visited `(linearized-set, register-value)` states, which keeps it fast on the
+    /// register histories LEGOStore produces.
+    pub fn check(&self) -> CheckOutcome {
+        for (i, op) in self.operations.iter().enumerate() {
+            if op.ret < op.invoke {
+                return CheckOutcome::Malformed { index: i };
+            }
+        }
+        let n = self.operations.len();
+        if n == 0 {
+            return CheckOutcome::Linearizable { order: vec![] };
+        }
+        // Sort by invocation time; the witness order refers to indices in this sorted list.
+        let mut ops: Vec<Operation> = self.operations.clone();
+        ops.sort_by_key(|o| (o.invoke, o.ret));
+
+        let words = n.div_ceil(64);
+        let mut linearized = vec![0u64; words];
+        let mut memo: HashSet<(Vec<u64>, u64)> = HashSet::new();
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+
+        fn is_set(bits: &[u64], i: usize) -> bool {
+            bits[i / 64] & (1u64 << (i % 64)) != 0
+        }
+        fn set(bits: &mut [u64], i: usize) {
+            bits[i / 64] |= 1u64 << (i % 64);
+        }
+        fn clear(bits: &mut [u64], i: usize) {
+            bits[i / 64] &= !(1u64 << (i % 64));
+        }
+
+        // Iterative DFS with an explicit stack of (value-before, next-candidate-index).
+        struct Frame {
+            value: u64,
+            next: usize,
+        }
+        let mut stack: Vec<Frame> = vec![Frame {
+            value: self.initial_value,
+            next: 0,
+        }];
+
+        while let Some(frame_idx) = stack.len().checked_sub(1) {
+            if order.len() == n {
+                return CheckOutcome::Linearizable { order };
+            }
+            let value = stack[frame_idx].value;
+            let start = stack[frame_idx].next;
+            // Earliest response among pending operations: candidates must be invoked before
+            // it (otherwise some pending op strictly precedes them in real time).
+            let mut min_ret = u64::MAX;
+            for (i, op) in ops.iter().enumerate() {
+                if !is_set(&linearized, i) {
+                    min_ret = min_ret.min(op.ret);
+                }
+            }
+            let mut advanced = false;
+            let mut candidate = None;
+            for i in start..n {
+                if is_set(&linearized, i) {
+                    continue;
+                }
+                let op = &ops[i];
+                if op.invoke > min_ret {
+                    // ops is sorted by invocation; nothing later can be a candidate either.
+                    break;
+                }
+                // Check register semantics.
+                let new_value = match op.kind {
+                    OperationKind::Read { value: read_v } => {
+                        if read_v != value {
+                            continue;
+                        }
+                        value
+                    }
+                    OperationKind::Write { value: write_v } => write_v,
+                };
+                candidate = Some((i, new_value));
+                advanced = true;
+                break;
+            }
+            match candidate {
+                Some((i, new_value)) => {
+                    // Record where to resume in this frame if the branch fails.
+                    stack[frame_idx].next = i + 1;
+                    set(&mut linearized, i);
+                    order.push(i);
+                    if memo.contains(&(linearized.clone(), new_value)) {
+                        // Already explored an equivalent state; undo immediately.
+                        clear(&mut linearized, i);
+                        order.pop();
+                        continue;
+                    }
+                    stack.push(Frame {
+                        value: new_value,
+                        next: 0,
+                    });
+                }
+                None => {
+                    let _ = advanced;
+                    // Dead end: remember the state we are abandoning, then backtrack.
+                    memo.insert((linearized.clone(), value));
+                    stack.pop();
+                    if let Some(last) = order.pop() {
+                        clear(&mut linearized, last);
+                    } else if stack.is_empty() {
+                        return CheckOutcome::NotLinearizable;
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            CheckOutcome::Linearizable { order }
+        } else {
+            CheckOutcome::NotLinearizable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(History::new(0).check().is_ok());
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 10, 0, 1));
+        h.push(Operation::read(2, 10, 2, 3));
+        h.push(Operation::write(1, 20, 4, 5));
+        h.push(Operation::read(2, 20, 6, 7));
+        assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn read_of_initial_value_is_linearizable() {
+        let mut h = History::new(42);
+        h.push(Operation::read(1, 42, 0, 1));
+        assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 5, 0, 1));
+        // Read starts strictly after the write finished but returns the old value.
+        h.push(Operation::read(2, 0, 2, 3));
+        assert_eq!(h.check(), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_read_may_return_old_or_new_value() {
+        // Write [0, 10]; read overlapping it may return either 0 or 7.
+        for read_value in [0u64, 7] {
+            let mut h = History::new(0);
+            h.push(Operation::write(1, 7, 0, 10));
+            h.push(Operation::read(2, read_value, 5, 6));
+            assert!(h.check().is_ok(), "read {read_value} should be allowed");
+        }
+        // But a value never written is not allowed.
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 7, 0, 10));
+        h.push(Operation::read(2, 99, 5, 6));
+        assert_eq!(h.check(), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads around concurrent writes must not observe values in an order
+        // contradicting real time: r1 sees the newer write, then r2 (strictly later) sees
+        // the older one.
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 1, 0, 100)); // w1, concurrent with everything
+        h.push(Operation::write(2, 2, 0, 100)); // w2, concurrent with everything
+        h.push(Operation::read(3, 2, 10, 20)); // r1 sees 2
+        h.push(Operation::read(3, 1, 30, 40)); // r2 (after r1) sees 1 -> would need w1 after w2
+        // This IS linearizable: w2, r1, w1, r2. Check that the checker finds it.
+        assert!(h.check().is_ok());
+
+        // Now pin the writes sequentially: w1 finishes before w2 starts; then r1 sees 2 and
+        // a later r2 sees 1 — that is a new/old inversion and must be rejected.
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 1, 0, 5));
+        h.push(Operation::write(2, 2, 10, 15));
+        h.push(Operation::read(3, 2, 20, 25));
+        h.push(Operation::read(3, 1, 30, 35));
+        assert_eq!(h.check(), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn witness_order_respects_real_time_and_semantics() {
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 10, 0, 1));
+        h.push(Operation::read(2, 10, 2, 3));
+        let CheckOutcome::Linearizable { order } = h.check() else {
+            panic!("expected linearizable");
+        };
+        assert_eq!(order.len(), 2);
+        // The write must be linearized before the read.
+        assert!(order[0] < order[1]);
+    }
+
+    #[test]
+    fn malformed_history_detected() {
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 1, 10, 5));
+        assert!(matches!(h.check(), CheckOutcome::Malformed { index: 0 }));
+    }
+
+    #[test]
+    fn concurrent_writes_with_reads_on_both_sides() {
+        // Classic example: two concurrent writes, one reader sees A then B, another sees B
+        // only. Linearizable iff a single order of writes explains both.
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 1, 0, 50));
+        h.push(Operation::write(2, 2, 0, 50));
+        h.push(Operation::read(3, 1, 60, 61));
+        h.push(Operation::read(4, 1, 62, 63));
+        assert!(h.check().is_ok());
+
+        // Readers disagreeing on the final state after both writes completed: impossible.
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 1, 0, 50));
+        h.push(Operation::write(2, 2, 0, 50));
+        h.push(Operation::read(3, 1, 60, 61));
+        h.push(Operation::read(4, 2, 62, 63));
+        h.push(Operation::read(5, 1, 64, 65));
+        assert_eq!(h.check(), CheckOutcome::NotLinearizable);
+    }
+
+    #[test]
+    fn repeated_values_are_handled() {
+        // Writing the same value twice must not confuse the checker.
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 5, 0, 1));
+        h.push(Operation::write(2, 5, 2, 3));
+        h.push(Operation::read(3, 5, 4, 5));
+        assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn larger_concurrent_history_is_checked_quickly() {
+        // A broad but linearizable history: 8 writers write distinct values concurrently,
+        // then 8 readers all agree on one of them.
+        let mut h = History::new(0);
+        for c in 0..8u32 {
+            h.push(Operation::write(c, 100 + c as u64, 0, 100));
+        }
+        for c in 0..8u32 {
+            h.push(Operation::read(100 + c, 103, 200, 201));
+        }
+        assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn read_between_two_writes_pins_their_order() {
+        // w(1) [0,10], r->1 [20,30], w(2) [15,40]: linearizable (w1, r, w2).
+        let mut h = History::new(0);
+        h.push(Operation::write(1, 1, 0, 10));
+        h.push(Operation::read(2, 1, 20, 30));
+        h.push(Operation::write(3, 2, 15, 40));
+        assert!(h.check().is_ok());
+
+        // But if a later read (after w2 completes) still sees 1 while an even later read
+        // sees 2 that's fine; seeing 2 then 1 afterwards is not.
+        let mut h2 = h.clone();
+        h2.push(Operation::read(4, 2, 50, 55));
+        h2.push(Operation::read(5, 1, 60, 65));
+        assert_eq!(h2.check(), CheckOutcome::NotLinearizable);
+    }
+}

@@ -1,0 +1,15 @@
+//! Linearizability checking for read/write register histories.
+//!
+//! The paper verifies its prototype's execution histories with Porcupine (a Go checker).
+//! This crate is the Rust substitute: a Wing & Gong style search specialized to read/write
+//! registers, with memoization over (set of linearized operations, register state), plus the
+//! bookkeeping needed to record histories from a running store.
+//!
+//! Because linearizability is compositional (Herlihy & Wing), the store checks each key's
+//! history independently; [`History::check`] operates on a single register.
+
+pub mod history;
+pub mod recorder;
+
+pub use history::{CheckOutcome, History, Operation, OperationKind};
+pub use recorder::HistoryRecorder;

@@ -1,0 +1,152 @@
+//! Recording histories from a running store.
+//!
+//! The threaded runtime and the simulator call [`HistoryRecorder::record_get`] /
+//! [`HistoryRecorder::record_put`] around every completed user operation. Histories are kept
+//! per key (linearizability is compositional, so each key is checked independently) and
+//! values are reduced to 64-bit fingerprints, which is sufficient because the workloads
+//! write values that are distinct whenever their fingerprints are distinct.
+
+use crate::history::{CheckOutcome, History, Operation};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// FNV-1a fingerprint of a byte string, used to map stored values to the `u64` domain the
+/// checker works over.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Thread-safe, per-key history collector.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    inner: Mutex<HashMap<String, History>>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        HistoryRecorder {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Declares a key and the fingerprint of its initial value (CREATE).
+    pub fn register_key(&self, key: &str, initial_value: u64) {
+        let mut map = self.inner.lock().unwrap();
+        map.entry(key.to_string())
+            .or_insert_with(|| History::new(initial_value));
+    }
+
+    /// Records a completed GET that observed `value_fp`.
+    pub fn record_get(&self, key: &str, client: u32, value_fp: u64, invoke: u64, ret: u64) {
+        let mut map = self.inner.lock().unwrap();
+        map.entry(key.to_string())
+            .or_insert_with(|| History::new(0))
+            .push(Operation::read(client, value_fp, invoke, ret));
+    }
+
+    /// Records a completed PUT of `value_fp`.
+    pub fn record_put(&self, key: &str, client: u32, value_fp: u64, invoke: u64, ret: u64) {
+        let mut map = self.inner.lock().unwrap();
+        map.entry(key.to_string())
+            .or_insert_with(|| History::new(0))
+            .push(Operation::write(client, value_fp, invoke, ret));
+    }
+
+    /// Number of operations recorded for `key`.
+    pub fn len(&self, key: &str) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .get(key)
+            .map(|h| h.len())
+            .unwrap_or(0)
+    }
+
+    /// True if nothing has been recorded for `key`.
+    pub fn is_empty(&self, key: &str) -> bool {
+        self.len(key) == 0
+    }
+
+    /// Returns a snapshot of the history for `key`, if any.
+    pub fn history(&self, key: &str) -> Option<History> {
+        self.inner.lock().unwrap().get(key).cloned()
+    }
+
+    /// Keys with at least one recorded operation or registration.
+    pub fn keys(&self) -> Vec<String> {
+        let mut ks: Vec<String> = self.inner.lock().unwrap().keys().cloned().collect();
+        ks.sort();
+        ks
+    }
+
+    /// Checks every recorded key and returns the keys that failed (empty ⇒ all linearizable).
+    pub fn check_all(&self) -> Vec<(String, CheckOutcome)> {
+        let map = self.inner.lock().unwrap();
+        let mut failures = Vec::new();
+        for (key, history) in map.iter() {
+            let outcome = history.check();
+            if !outcome.is_ok() {
+                failures.push((key.clone(), outcome));
+            }
+        }
+        failures.sort_by(|a, b| a.0.cmp(&b.0));
+        failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_values() {
+        assert_ne!(fingerprint(b"a"), fingerprint(b"b"));
+        assert_eq!(fingerprint(b"hello"), fingerprint(b"hello"));
+        assert_ne!(fingerprint(b""), fingerprint(b"\0"));
+    }
+
+    #[test]
+    fn recorder_partitions_by_key_and_checks() {
+        let rec = HistoryRecorder::new();
+        rec.register_key("x", fingerprint(b"init"));
+        rec.record_put("x", 1, 10, 0, 5);
+        rec.record_get("x", 2, 10, 6, 8);
+        rec.record_put("y", 1, 99, 0, 1);
+        rec.record_get("y", 2, 99, 2, 3);
+        assert_eq!(rec.len("x"), 2);
+        assert_eq!(rec.len("y"), 2);
+        assert!(rec.is_empty("z"));
+        assert_eq!(rec.keys(), vec!["x".to_string(), "y".to_string()]);
+        assert!(rec.check_all().is_empty());
+    }
+
+    #[test]
+    fn recorder_flags_non_linearizable_key() {
+        let rec = HistoryRecorder::new();
+        rec.record_put("bad", 1, 1, 0, 1);
+        rec.record_get("bad", 2, 0, 5, 6); // stale read of the default 0 after put(1) finished
+        rec.record_put("good", 1, 1, 0, 1);
+        rec.record_get("good", 2, 1, 5, 6);
+        let failures = rec.check_all();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "bad");
+        assert!(!failures[0].1.is_ok());
+    }
+
+    #[test]
+    fn history_snapshot_is_a_copy() {
+        let rec = HistoryRecorder::new();
+        rec.record_put("k", 1, 7, 0, 1);
+        let snap = rec.history("k").unwrap();
+        rec.record_get("k", 2, 7, 2, 3);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(rec.history("k").unwrap().len(), 2);
+        assert!(rec.history("missing").is_none());
+    }
+}

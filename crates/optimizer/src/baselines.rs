@@ -1,0 +1,200 @@
+//! The six baselines of §4.1, each expressed as a restriction or re-objective of the same
+//! search machinery so that comparisons are apples-to-apples.
+
+use crate::plan::Plan;
+use crate::search::{Objective, Optimizer, ProtocolFilter, SearchOptions};
+use legostore_cloud::CloudModel;
+use legostore_types::{DcId, ProtocolKind};
+use legostore_workload::WorkloadSpec;
+
+/// The baselines LEGOStore is compared against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// ABD with a fixed replication degree of 3, hosted at the DCs with the smallest
+    /// average network price toward the user locations.
+    AbdFixed,
+    /// CAS with fixed parameters (5, 3), hosted at the cheapest-average-price DCs.
+    CasFixed,
+    /// ABD with optimizer-chosen parameters but latency-minimizing placement (represents
+    /// latency-oriented systems such as Volley).
+    AbdNearest,
+    /// CAS with optimizer-chosen parameters but latency-minimizing placement.
+    CasNearest,
+    /// Cost-optimal replication-only configuration (represents SPANStore).
+    AbdOnlyOptimal,
+    /// Cost-optimal erasure-coding-only configuration (represents Pando/Giza-style systems).
+    CasOnlyOptimal,
+}
+
+impl Baseline {
+    /// All six baselines, in the order the paper's figures list them.
+    pub const ALL: [Baseline; 6] = [
+        Baseline::AbdFixed,
+        Baseline::CasFixed,
+        Baseline::AbdNearest,
+        Baseline::CasNearest,
+        Baseline::AbdOnlyOptimal,
+        Baseline::CasOnlyOptimal,
+    ];
+
+    /// Display label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Baseline::AbdFixed => "ABD Fixed",
+            Baseline::CasFixed => "CAS Fixed",
+            Baseline::AbdNearest => "ABD Nearest",
+            Baseline::CasNearest => "CAS Nearest",
+            Baseline::AbdOnlyOptimal => "ABD Only Optimal",
+            Baseline::CasOnlyOptimal => "CAS Only Optimal",
+        }
+    }
+}
+
+/// The fixed replication degree used by `ABD Fixed` (the value most frequently chosen by the
+/// optimizer across the paper's experiments).
+pub const ABD_FIXED_N: usize = 3;
+/// The fixed `(n, k)` used by `CAS Fixed`.
+pub const CAS_FIXED_NK: (usize, usize) = (5, 3);
+
+/// Ranks data centers by their average outbound network price toward the workload's client
+/// locations (the placement rule of the `Fixed` baselines).
+fn cheapest_average_price_dcs(model: &CloudModel, spec: &WorkloadSpec, count: usize) -> Vec<DcId> {
+    let clients = spec.client_dcs();
+    let mut dcs = model.dc_ids();
+    dcs.sort_by(|a, b| {
+        let pa = model.avg_outbound_price_gb(*a, &clients);
+        let pb = model.avg_outbound_price_gb(*b, &clients);
+        pa.partial_cmp(&pb).unwrap()
+    });
+    dcs.truncate(count);
+    dcs
+}
+
+/// Evaluates `baseline` for `spec` on `model`. Returns `None` if the baseline cannot meet
+/// the SLOs (e.g. `CAS Only Optimal` under a stringent SLO, Figure 1(b)).
+pub fn evaluate_baseline(
+    model: &CloudModel,
+    spec: &WorkloadSpec,
+    baseline: Baseline,
+) -> Option<Plan> {
+    match baseline {
+        Baseline::AbdFixed => {
+            let placement = cheapest_average_price_dcs(model, spec, ABD_FIXED_N);
+            Optimizer::new(model.clone()).evaluate_placement(spec, ProtocolKind::Abd, 1, placement)
+        }
+        Baseline::CasFixed => {
+            let (n, k) = CAS_FIXED_NK;
+            if model.num_dcs() < n {
+                return None;
+            }
+            let placement = cheapest_average_price_dcs(model, spec, n);
+            Optimizer::new(model.clone()).evaluate_placement(spec, ProtocolKind::Cas, k, placement)
+        }
+        Baseline::AbdNearest => Optimizer::with_options(
+            model.clone(),
+            SearchOptions {
+                objective: Objective::Latency,
+                ..Default::default()
+            },
+        )
+        .optimize_filtered(spec, ProtocolFilter::AbdOnly),
+        Baseline::CasNearest => Optimizer::with_options(
+            model.clone(),
+            SearchOptions {
+                objective: Objective::Latency,
+                ..Default::default()
+            },
+        )
+        .optimize_filtered(spec, ProtocolFilter::CasOnly),
+        Baseline::AbdOnlyOptimal => {
+            Optimizer::new(model.clone()).optimize_filtered(spec, ProtocolFilter::AbdOnly)
+        }
+        Baseline::CasOnlyOptimal => {
+            Optimizer::new(model.clone()).optimize_filtered(spec, ProtocolFilter::CasOnly)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_cloud::{CloudModel, GcpLocation};
+    use legostore_workload::{client_distribution, ClientDistribution};
+
+    fn spec(dist: ClientDistribution, slo: f64, rho: f64) -> (CloudModel, WorkloadSpec) {
+        let model = CloudModel::gcp9();
+        let mut s = WorkloadSpec::example();
+        s.client_distribution = client_distribution(dist, &model);
+        s.slo_get_ms = slo;
+        s.slo_put_ms = slo;
+        s.read_ratio = rho;
+        (model, s)
+    }
+
+    #[test]
+    fn fixed_baselines_use_fixed_parameters() {
+        let (model, s) = spec(ClientDistribution::Tokyo, 1000.0, 0.5);
+        let abd = evaluate_baseline(&model, &s, Baseline::AbdFixed).expect("feasible");
+        assert_eq!(abd.config.protocol, ProtocolKind::Abd);
+        assert_eq!(abd.config.n, 3);
+        let cas = evaluate_baseline(&model, &s, Baseline::CasFixed).expect("feasible");
+        assert_eq!(cas.config.protocol, ProtocolKind::Cas);
+        assert_eq!((cas.config.n, cas.config.k), (5, 3));
+    }
+
+    #[test]
+    fn fixed_baselines_avoid_expensive_outbound_dcs() {
+        // Sydney has the most expensive outbound prices; the Fixed placement rule (cheapest
+        // average outbound price) must therefore never pick Sydney for Tokyo-only users.
+        let (model, s) = spec(ClientDistribution::Tokyo, 1000.0, 0.5);
+        let abd = evaluate_baseline(&model, &s, Baseline::AbdFixed).unwrap();
+        assert!(!abd.config.dcs.contains(&GcpLocation::Sydney.dc()));
+    }
+
+    #[test]
+    fn optimizer_beats_or_matches_every_baseline() {
+        let (model, s) = spec(ClientDistribution::SydneyTokyo, 1000.0, 30.0 / 31.0);
+        let optimal = Optimizer::new(model.clone()).optimize(&s).expect("feasible");
+        for b in Baseline::ALL {
+            if let Some(plan) = evaluate_baseline(&model, &s, b) {
+                assert!(
+                    optimal.total_cost() <= plan.total_cost() + 1e-9,
+                    "{}: optimizer {} vs baseline {}",
+                    b.label(),
+                    optimal.total_cost(),
+                    plan.total_cost()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_baselines_minimize_latency_not_cost() {
+        let (model, s) = spec(ClientDistribution::SydneyTokyo, 1000.0, 30.0 / 31.0);
+        let nearest = evaluate_baseline(&model, &s, Baseline::CasNearest).expect("feasible");
+        let optimal = evaluate_baseline(&model, &s, Baseline::CasOnlyOptimal).expect("feasible");
+        // Nearest is at least as fast, and (for this Sydney+Tokyo HR workload, §G.2) strictly
+        // more expensive than the cost-optimal choice.
+        assert!(
+            nearest.worst_get_latency_ms <= optimal.worst_get_latency_ms + 1e-9,
+            "nearest {} vs optimal {}",
+            nearest.worst_get_latency_ms,
+            optimal.worst_get_latency_ms
+        );
+        assert!(nearest.total_cost() >= optimal.total_cost() - 1e-9);
+    }
+
+    #[test]
+    fn cas_only_optimal_infeasible_under_stringent_slo() {
+        // Figure 1(b): at a 200 ms SLO CAS Only Optimal cannot serve many workloads.
+        let (model, s) = spec(ClientDistribution::SydneyTokyo, 200.0, 0.5);
+        assert!(evaluate_baseline(&model, &s, Baseline::CasOnlyOptimal).is_none());
+        assert!(evaluate_baseline(&model, &s, Baseline::AbdOnlyOptimal).is_some());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> = Baseline::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,55 @@
+//! The optimizer's output: a fully specified configuration with its predicted cost and
+//! worst-case latencies.
+
+use crate::cost::CostBreakdown;
+use legostore_types::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// A costed, latency-checked configuration for one key / key group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The chosen configuration, including per-client preferred quorums.
+    pub config: Configuration,
+    /// Predicted cost per hour, by component.
+    pub cost: CostBreakdown,
+    /// Worst-case GET latency (ms) over all client locations with non-zero traffic.
+    pub worst_get_latency_ms: f64,
+    /// Worst-case PUT latency (ms) over all client locations with non-zero traffic.
+    pub worst_put_latency_ms: f64,
+}
+
+impl Plan {
+    /// Total predicted cost in $/hour.
+    pub fn total_cost(&self) -> f64 {
+        self.cost.total()
+    }
+
+    /// Short human-readable description, e.g. `CAS(5,3) $0.213/h`.
+    pub fn describe(&self) -> String {
+        format!("{} ${:.4}/h", self.config.describe(), self.total_cost())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_types::DcId;
+
+    #[test]
+    fn describe_includes_protocol_and_cost() {
+        let plan = Plan {
+            config: Configuration::abd_majority(vec![DcId(0), DcId(1), DcId(2)], 1),
+            cost: CostBreakdown {
+                get_network: 0.1,
+                put_network: 0.2,
+                storage: 0.3,
+                vm: 0.4,
+            },
+            worst_get_latency_ms: 120.0,
+            worst_put_latency_ms: 140.0,
+        };
+        assert!((plan.total_cost() - 1.0).abs() < 1e-12);
+        assert!(plan.describe().contains("ABD(3)"));
+        assert!(plan.describe().contains("1.0000"));
+    }
+}

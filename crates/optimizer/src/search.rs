@@ -1,0 +1,664 @@
+//! The configuration search (§3.2, Appendix C "Discussion").
+//!
+//! The search enumerates protocol, code parameters and quorum sizes exactly, and tames the
+//! exponential placement space with the paper's heuristic: data centers are ranked by their
+//! (traffic-weighted) network price toward the workload's client locations, only the best
+//! few form the candidate pool, and per-client quorums are then filled greedily — by price
+//! under the cost objective, falling back to a nearest-first fill when the cheap choice
+//! violates the latency SLO.
+
+use crate::cost::{cost_of, CostBreakdown};
+use crate::latency::{get_latency_ms, put_latency_ms};
+use crate::plan::Plan;
+use legostore_cloud::CloudModel;
+use legostore_types::{Configuration, DcId, ProtocolKind, QuorumId, QuorumSpec};
+use legostore_workload::WorkloadSpec;
+
+/// What the search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize $/hour subject to the latency SLOs (LEGOStore's optimizer).
+    Cost,
+    /// Minimize worst-case GET+PUT latency subject to the SLOs, ignoring cost (the
+    /// `ABD Nearest` / `CAS Nearest` baselines).
+    Latency,
+}
+
+/// Which protocols the search may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolFilter {
+    /// Consider both ABD and CAS (LEGOStore's optimizer).
+    Any,
+    /// Replication only (`ABD Only Optimal`).
+    AbdOnly,
+    /// Erasure coding only (`CAS Only Optimal`).
+    CasOnly,
+}
+
+/// Tunables of the search.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Objective to minimize.
+    pub objective: Objective,
+    /// How many data centers beyond `n` the ranked candidate pool keeps (the paper's
+    /// heuristic prunes the combinatorial placement space this way).
+    pub candidate_pool_extra: usize,
+    /// Data centers that must not be used (e.g. ones suspected to have failed, §3.4/§4.5).
+    pub excluded_dcs: Vec<DcId>,
+    /// Upper bound on the code length / replication degree (defaults to the number of DCs).
+    pub max_n: Option<usize>,
+    /// Restrict CAS candidates to this code dimension (used by the K-sweep of Figure 3).
+    pub fixed_k: Option<usize>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            objective: Objective::Cost,
+            candidate_pool_extra: 3,
+            excluded_dcs: Vec::new(),
+            max_n: None,
+            fixed_k: None,
+        }
+    }
+}
+
+/// LEGOStore's per-key optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    model: CloudModel,
+    options: SearchOptions,
+}
+
+impl Optimizer {
+    /// Creates an optimizer over `model` with default options (cost objective).
+    pub fn new(model: CloudModel) -> Self {
+        Optimizer {
+            model,
+            options: SearchOptions::default(),
+        }
+    }
+
+    /// Creates an optimizer with explicit options.
+    pub fn with_options(model: CloudModel, options: SearchOptions) -> Self {
+        Optimizer { model, options }
+    }
+
+    /// The cloud model the optimizer plans against.
+    pub fn model(&self) -> &CloudModel {
+        &self.model
+    }
+
+    /// The search options.
+    pub fn options(&self) -> &SearchOptions {
+        &self.options
+    }
+
+    /// Finds the cheapest feasible configuration using either protocol.
+    pub fn optimize(&self, spec: &WorkloadSpec) -> Option<Plan> {
+        self.optimize_filtered(spec, ProtocolFilter::Any)
+    }
+
+    /// Finds the best feasible configuration restricted to `filter`.
+    pub fn optimize_filtered(&self, spec: &WorkloadSpec, filter: ProtocolFilter) -> Option<Plan> {
+        let mut best: Option<Plan> = None;
+        if matches!(filter, ProtocolFilter::Any | ProtocolFilter::AbdOnly) {
+            for plan in self.enumerate_abd(spec) {
+                best = Self::better(self.options.objective, best, plan);
+            }
+        }
+        if matches!(filter, ProtocolFilter::Any | ProtocolFilter::CasOnly) {
+            for plan in self.enumerate_cas(spec) {
+                best = Self::better(self.options.objective, best, plan);
+            }
+        }
+        best
+    }
+
+    /// Evaluates a specific protocol / `n` / `k` over a fixed placement (used by the
+    /// `ABD Fixed` / `CAS Fixed` baselines): quorum sizes and per-client quorums are still
+    /// chosen by the search, but the hosting data centers are given.
+    pub fn evaluate_placement(
+        &self,
+        spec: &WorkloadSpec,
+        protocol: ProtocolKind,
+        k: usize,
+        placement: Vec<DcId>,
+    ) -> Option<Plan> {
+        let n = placement.len();
+        let mut best: Option<Plan> = None;
+        for quorums in quorum_combinations(protocol, n, k, spec.fault_tolerance) {
+            if let Some(plan) = self.evaluate_candidate(spec, protocol, k, &placement, quorums) {
+                best = Self::better(self.options.objective, best, plan);
+            }
+        }
+        best
+    }
+
+    fn better(objective: Objective, best: Option<Plan>, candidate: Plan) -> Option<Plan> {
+        match best {
+            None => Some(candidate),
+            Some(b) => {
+                let better = match objective {
+                    Objective::Cost => candidate.total_cost() < b.total_cost(),
+                    Objective::Latency => {
+                        let cl = candidate.worst_get_latency_ms + candidate.worst_put_latency_ms;
+                        let bl = b.worst_get_latency_ms + b.worst_put_latency_ms;
+                        cl < bl || ((cl - bl).abs() < 1e-9 && candidate.total_cost() < b.total_cost())
+                    }
+                };
+                Some(if better { candidate } else { b })
+            }
+        }
+    }
+
+    fn available_dcs(&self) -> Vec<DcId> {
+        self.model
+            .dc_ids()
+            .into_iter()
+            .filter(|d| !self.options.excluded_dcs.contains(d))
+            .collect()
+    }
+
+    /// Ranks the available data centers by the paper's heuristic score: traffic-weighted
+    /// network price to/from the client locations, with RTT as a tie-break.
+    fn ranked_candidates(&self, spec: &WorkloadSpec) -> Vec<DcId> {
+        let mut dcs = self.available_dcs();
+        let score = |j: DcId| -> (f64, f64) {
+            let mut price = 0.0;
+            let mut rtt = 0.0;
+            for (i, frac) in &spec.client_distribution {
+                if *frac <= 0.0 {
+                    continue;
+                }
+                price += frac
+                    * (self.model.net_price_gb(j, *i) + self.model.net_price_gb(*i, j))
+                    / 2.0;
+                rtt += frac * self.model.rtt_ms(*i, j);
+            }
+            (price, rtt)
+        };
+        dcs.sort_by(|a, b| {
+            let (pa, ra) = score(*a);
+            let (pb, rb) = score(*b);
+            match self.options.objective {
+                Objective::Cost => pa
+                    .partial_cmp(&pb)
+                    .unwrap()
+                    .then(ra.partial_cmp(&rb).unwrap()),
+                Objective::Latency => ra
+                    .partial_cmp(&rb)
+                    .unwrap()
+                    .then(pa.partial_cmp(&pb).unwrap()),
+            }
+        });
+        dcs
+    }
+
+    /// The candidate pool for code length `n`: the best `n + extra` data centers by the
+    /// heuristic ranking, widened with each client location's nearest data centers so that a
+    /// latency-critical host (e.g. the only DC within SLO reach of a remote client) is never
+    /// pruned away by the price ranking.
+    fn candidate_pool(&self, spec: &WorkloadSpec, ranked: &[DcId], n: usize) -> Vec<DcId> {
+        let pool_size = (n + self.options.candidate_pool_extra).min(ranked.len());
+        let mut pool: Vec<DcId> = ranked[..pool_size].to_vec();
+        for (client, frac) in &spec.client_distribution {
+            if *frac <= 0.0 {
+                continue;
+            }
+            for near in self
+                .model
+                .nearest_dcs(*client)
+                .into_iter()
+                .filter(|d| ranked.contains(d))
+                .take(3)
+            {
+                if !pool.contains(&near) {
+                    pool.push(near);
+                }
+            }
+        }
+        pool
+    }
+
+    fn enumerate_abd(&self, spec: &WorkloadSpec) -> Vec<Plan> {
+        let f = spec.fault_tolerance;
+        let ranked = self.ranked_candidates(spec);
+        let d = ranked.len();
+        let max_n = self.options.max_n.unwrap_or(d).min(d);
+        let mut plans = Vec::new();
+        for n in (f + 1).max(2)..=max_n {
+            let pool = self.candidate_pool(spec, &ranked, n);
+            for placement in combinations(&pool, n) {
+                for quorums in quorum_combinations(ProtocolKind::Abd, n, 1, f) {
+                    if let Some(plan) =
+                        self.evaluate_candidate(spec, ProtocolKind::Abd, 1, &placement, quorums)
+                    {
+                        plans.push(plan);
+                    }
+                }
+            }
+        }
+        plans
+    }
+
+    fn enumerate_cas(&self, spec: &WorkloadSpec) -> Vec<Plan> {
+        let f = spec.fault_tolerance;
+        let ranked = self.ranked_candidates(spec);
+        let d = ranked.len();
+        let max_n = self.options.max_n.unwrap_or(d).min(d);
+        let mut plans = Vec::new();
+        for k in 1..=d.saturating_sub(2 * f) {
+            if let Some(fixed) = self.options.fixed_k {
+                if k != fixed {
+                    continue;
+                }
+            }
+            for n in (k + 2 * f)..=max_n {
+                let pool = self.candidate_pool(spec, &ranked, n);
+                for placement in combinations(&pool, n) {
+                    for quorums in quorum_combinations(ProtocolKind::Cas, n, k, f) {
+                        if let Some(plan) =
+                            self.evaluate_candidate(spec, ProtocolKind::Cas, k, &placement, quorums)
+                        {
+                            plans.push(plan);
+                        }
+                    }
+                }
+            }
+        }
+        plans
+    }
+
+    /// Evaluates one fully parameterized candidate, filling per-client quorums greedily and
+    /// rejecting it if any client location cannot meet the SLOs.
+    fn evaluate_candidate(
+        &self,
+        spec: &WorkloadSpec,
+        protocol: ProtocolKind,
+        k: usize,
+        placement: &[DcId],
+        quorums: QuorumSpec,
+    ) -> Option<Plan> {
+        let n = placement.len();
+        let mut config = Configuration {
+            protocol,
+            n,
+            k,
+            quorums,
+            dcs: placement.to_vec(),
+            f: spec.fault_tolerance,
+            epoch: legostore_types::ConfigEpoch::INITIAL,
+            preferred_quorums: Default::default(),
+        };
+        if config.validate().is_err() {
+            return None;
+        }
+        let quorum_count = protocol.quorum_count();
+        let mut worst_get: f64 = 0.0;
+        let mut worst_put: f64 = 0.0;
+        for (client, frac) in &spec.client_distribution {
+            if *frac <= 0.0 {
+                continue;
+            }
+            let chosen = self.fill_quorums_for_client(spec, &config, *client, quorum_count)?;
+            config.preferred_quorums.insert(*client, chosen);
+            let g = get_latency_ms(&self.model, spec, &config, *client);
+            let p = put_latency_ms(&self.model, spec, &config, *client);
+            if g > spec.slo_get_ms || p > spec.slo_put_ms {
+                return None;
+            }
+            worst_get = worst_get.max(g);
+            worst_put = worst_put.max(p);
+        }
+        let cost: CostBreakdown = cost_of(&self.model, spec, &config);
+        Some(Plan {
+            config,
+            cost,
+            worst_get_latency_ms: worst_get,
+            worst_put_latency_ms: worst_put,
+        })
+    }
+
+    /// Chooses, for one client location, the members of each quorum: cheapest-first under
+    /// the cost objective (retrying nearest-first if that breaks the SLO), nearest-first
+    /// under the latency objective. Returns `None` if even the nearest-first choice misses
+    /// the SLO.
+    fn fill_quorums_for_client(
+        &self,
+        spec: &WorkloadSpec,
+        config: &Configuration,
+        client: DcId,
+        quorum_count: usize,
+    ) -> Option<Vec<Vec<DcId>>> {
+        let by_price = {
+            let mut v = config.dcs.clone();
+            v.sort_by(|a, b| {
+                let pa = self.model.net_price_gb(*a, client) + self.model.net_price_gb(client, *a);
+                let pb = self.model.net_price_gb(*b, client) + self.model.net_price_gb(client, *b);
+                pa.partial_cmp(&pb)
+                    .unwrap()
+                    .then(
+                        self.model
+                            .rtt_ms(client, *a)
+                            .partial_cmp(&self.model.rtt_ms(client, *b))
+                            .unwrap(),
+                    )
+            });
+            v
+        };
+        let by_rtt = {
+            let mut v = config.dcs.clone();
+            v.sort_by(|a, b| {
+                self.model
+                    .rtt_ms(client, *a)
+                    .partial_cmp(&self.model.rtt_ms(client, *b))
+                    .unwrap()
+            });
+            v
+        };
+        let build = |order: &[DcId]| -> Vec<Vec<DcId>> {
+            (0..4)
+                .map(|qi| {
+                    if qi >= quorum_count {
+                        return Vec::new();
+                    }
+                    let q = QuorumId::from_index(qi).expect("in range");
+                    let size = config.quorums.size(q);
+                    order[..size.min(order.len())].to_vec()
+                })
+                .collect()
+        };
+        let candidates: Vec<Vec<Vec<DcId>>> = match self.options.objective {
+            Objective::Cost => vec![build(&by_price), build(&by_rtt)],
+            Objective::Latency => vec![build(&by_rtt)],
+        };
+        for chosen in candidates {
+            let mut trial = config.clone();
+            trial.preferred_quorums.insert(client, chosen.clone());
+            let g = get_latency_ms(&self.model, spec, &trial, client);
+            let p = put_latency_ms(&self.model, spec, &trial, client);
+            if g <= spec.slo_get_ms && p <= spec.slo_put_ms {
+                return Some(chosen);
+            }
+        }
+        None
+    }
+}
+
+/// All quorum-size combinations worth considering for the given protocol / parameters.
+///
+/// Quorums are kept as small as the safety constraints allow: for ABD, `q2 = n + 1 - q1`;
+/// for CAS, `q3 = n + 1 - q1` and `q2 = n + k - q4`, enumerating the `(q1, q4)` trade-off.
+pub fn quorum_combinations(
+    protocol: ProtocolKind,
+    n: usize,
+    k: usize,
+    f: usize,
+) -> Vec<QuorumSpec> {
+    let mut out = Vec::new();
+    if n <= f {
+        return out;
+    }
+    let cap = n - f;
+    match protocol {
+        ProtocolKind::Abd => {
+            for q1 in 1..=cap {
+                let q2 = n + 1 - q1;
+                if q2 >= 1 && q2 <= cap {
+                    out.push(QuorumSpec::abd(q1, q2));
+                }
+            }
+        }
+        ProtocolKind::Cas => {
+            if n < k + 2 * f {
+                return out;
+            }
+            for q1 in 1..=cap {
+                let q3 = n + 1 - q1;
+                if q3 > cap {
+                    continue;
+                }
+                let q4_min = (n + 1 - q1).max(k + f).max(k);
+                for q4 in q4_min..=cap {
+                    let q2 = (n + k).saturating_sub(q4).max(1);
+                    if q2 > cap {
+                        continue;
+                    }
+                    out.push(QuorumSpec::cas(q1, q2, q3, q4));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All `size`-subsets of `items`, preserving order.
+pub fn combinations(items: &[DcId], size: usize) -> Vec<Vec<DcId>> {
+    let mut out = Vec::new();
+    if size == 0 || size > items.len() {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(idx.iter().map(|&i| items[i]).collect());
+        // Advance the index vector.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + items.len() - size {
+                idx[i] += 1;
+                for j in i + 1..size {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_cloud::{CloudModel, GcpLocation};
+    use legostore_types::ConfigEpoch;
+    use legostore_workload::{client_distribution, ClientDistribution, WorkloadSpec};
+
+    fn gcp_spec(dist: ClientDistribution, slo_ms: f64, rho: f64) -> (CloudModel, WorkloadSpec) {
+        let model = CloudModel::gcp9();
+        let mut spec = WorkloadSpec::example();
+        spec.client_distribution = client_distribution(dist, &model);
+        spec.slo_get_ms = slo_ms;
+        spec.slo_put_ms = slo_ms;
+        spec.read_ratio = rho;
+        (model, spec)
+    }
+
+    #[test]
+    fn combinations_counts() {
+        let items: Vec<DcId> = (0..5).map(DcId::from).collect();
+        assert_eq!(combinations(&items, 2).len(), 10);
+        assert_eq!(combinations(&items, 5).len(), 1);
+        assert_eq!(combinations(&items, 0).len(), 0);
+        assert_eq!(combinations(&items, 6).len(), 0);
+        // Every combination has distinct members.
+        for c in combinations(&items, 3) {
+            let set: std::collections::BTreeSet<_> = c.iter().collect();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn quorum_combinations_are_valid() {
+        for n in 2..=9usize {
+            for f in 1..=2usize {
+                if n <= f {
+                    continue;
+                }
+                for q in quorum_combinations(ProtocolKind::Abd, n, 1, f) {
+                    let c = Configuration {
+                        protocol: ProtocolKind::Abd,
+                        n,
+                        k: 1,
+                        quorums: q,
+                        dcs: (0..n).map(DcId::from).collect(),
+                        f,
+                        epoch: ConfigEpoch::INITIAL,
+                        preferred_quorums: Default::default(),
+                    };
+                    c.validate().unwrap();
+                }
+                for k in 1..=n.saturating_sub(2 * f) {
+                    for q in quorum_combinations(ProtocolKind::Cas, n, k, f) {
+                        let c = Configuration {
+                            protocol: ProtocolKind::Cas,
+                            n,
+                            k,
+                            quorums: q,
+                            dcs: (0..n).map(DcId::from).collect(),
+                            f,
+                            epoch: ConfigEpoch::INITIAL,
+                            preferred_quorums: Default::default(),
+                        };
+                        c.validate().unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_slo_single_site_finds_a_plan() {
+        let (model, spec) = gcp_spec(ClientDistribution::Tokyo, 1000.0, 0.5);
+        let optimizer = Optimizer::new(model);
+        let plan = optimizer.optimize(&spec).expect("feasible");
+        plan.config.validate().unwrap();
+        assert!(plan.total_cost() > 0.0);
+        assert!(plan.worst_get_latency_ms <= 1000.0);
+        assert!(plan.worst_put_latency_ms <= 1000.0);
+    }
+
+    #[test]
+    fn optimizer_is_at_least_as_good_as_each_restriction() {
+        let (model, spec) = gcp_spec(ClientDistribution::SydneyTokyo, 1000.0, 0.5);
+        let optimizer = Optimizer::new(model);
+        let any = optimizer.optimize(&spec).expect("feasible");
+        let abd = optimizer
+            .optimize_filtered(&spec, ProtocolFilter::AbdOnly)
+            .expect("feasible");
+        let cas = optimizer
+            .optimize_filtered(&spec, ProtocolFilter::CasOnly)
+            .expect("feasible");
+        assert!(any.total_cost() <= abd.total_cost() + 1e-9);
+        assert!(any.total_cost() <= cas.total_cost() + 1e-9);
+        assert!((any.total_cost() - abd.total_cost().min(cas.total_cost())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stringent_slo_forbids_cas_for_spread_out_users() {
+        // With a 200 ms SLO and users split between Sydney and Tokyo (115 ms RTT), the
+        // 3-phase CAS PUT cannot fit, but ABD can.
+        let (model, spec) = gcp_spec(ClientDistribution::SydneyTokyo, 200.0, 0.5);
+        let optimizer = Optimizer::new(model);
+        let cas = optimizer.optimize_filtered(&spec, ProtocolFilter::CasOnly);
+        assert!(cas.is_none(), "CAS should be infeasible at 200 ms: {cas:?}");
+        let abd = optimizer.optimize_filtered(&spec, ProtocolFilter::AbdOnly);
+        assert!(abd.is_some(), "ABD should fit at 200 ms");
+    }
+
+    #[test]
+    fn relaxed_slo_prefers_cas_for_read_heavy_workloads() {
+        // §4.2.1: with a 1 s SLO, EC saves cost; the optimizer should not pick plain ABD for
+        // a read-heavy single-site workload.
+        let (model, mut spec) = gcp_spec(ClientDistribution::Tokyo, 1000.0, 30.0 / 31.0);
+        spec.total_data_bytes = 1 << 40;
+        let optimizer = Optimizer::new(model);
+        let plan = optimizer.optimize(&spec).expect("feasible");
+        assert_eq!(plan.config.protocol, ProtocolKind::Cas);
+    }
+
+    #[test]
+    fn latency_objective_prefers_nearby_dcs() {
+        let (model, spec) = gcp_spec(ClientDistribution::Tokyo, 1000.0, 0.5);
+        let tokyo = GcpLocation::Tokyo.dc();
+        let opt = Optimizer::with_options(
+            model,
+            SearchOptions {
+                objective: Objective::Latency,
+                ..Default::default()
+            },
+        );
+        let plan = opt.optimize_filtered(&spec, ProtocolFilter::AbdOnly).expect("feasible");
+        // The latency-optimal ABD placement for Tokyo-only clients must include Tokyo itself.
+        assert!(plan.config.dcs.contains(&tokyo));
+        // And its latency must be no worse than the cost-optimal plan's.
+        let cost_opt = Optimizer::new(CloudModel::gcp9());
+        let cost_plan = cost_opt
+            .optimize_filtered(&spec, ProtocolFilter::AbdOnly)
+            .expect("feasible");
+        assert!(
+            plan.worst_get_latency_ms <= cost_plan.worst_get_latency_ms + 1e-9
+                && plan.worst_put_latency_ms <= cost_plan.worst_put_latency_ms + 1e-9
+        );
+    }
+
+    #[test]
+    fn excluded_dcs_are_never_used() {
+        let (model, spec) = gcp_spec(ClientDistribution::Tokyo, 1000.0, 0.5);
+        let tokyo = GcpLocation::Tokyo.dc();
+        let singapore = GcpLocation::Singapore.dc();
+        let opt = Optimizer::with_options(
+            model,
+            SearchOptions {
+                excluded_dcs: vec![tokyo, singapore],
+                ..Default::default()
+            },
+        );
+        let plan = opt.optimize(&spec).expect("still feasible without Tokyo");
+        assert!(!plan.config.dcs.contains(&tokyo));
+        assert!(!plan.config.dcs.contains(&singapore));
+    }
+
+    #[test]
+    fn infeasible_slo_returns_none() {
+        // 20 ms SLO cannot be met by any multi-DC quorum from Sydney.
+        let (model, spec) = gcp_spec(ClientDistribution::Sydney, 20.0, 0.5);
+        let optimizer = Optimizer::new(model);
+        assert!(optimizer.optimize(&spec).is_none());
+    }
+
+    #[test]
+    fn evaluate_placement_respects_given_dcs() {
+        let (model, spec) = gcp_spec(ClientDistribution::Tokyo, 1000.0, 0.5);
+        let placement: Vec<DcId> = vec![
+            GcpLocation::Virginia.dc(),
+            GcpLocation::Oregon.dc(),
+            GcpLocation::LosAngeles.dc(),
+        ];
+        let optimizer = Optimizer::new(model);
+        let plan = optimizer
+            .evaluate_placement(&spec, ProtocolKind::Abd, 1, placement.clone())
+            .expect("feasible");
+        assert_eq!(plan.config.dcs, placement);
+        assert_eq!(plan.config.protocol, ProtocolKind::Abd);
+    }
+
+    #[test]
+    fn fault_tolerance_two_needs_more_replicas() {
+        let (model, mut spec) = gcp_spec(ClientDistribution::Tokyo, 1000.0, 0.5);
+        spec.fault_tolerance = 2;
+        let optimizer = Optimizer::new(model);
+        let plan = optimizer
+            .optimize_filtered(&spec, ProtocolFilter::AbdOnly)
+            .expect("feasible");
+        assert!(plan.config.n >= 3);
+        plan.config.validate().unwrap();
+        let cas = optimizer
+            .optimize_filtered(&spec, ProtocolFilter::CasOnly)
+            .expect("feasible");
+        assert!(cas.config.n >= cas.config.k + 4);
+    }
+}

@@ -1,0 +1,545 @@
+//! The ABD (Attiya–Bar-Noy–Dolev) replication protocol — Figure 7 of the paper.
+//!
+//! * Server side: each data center stores one `(tag, value)` pair per key and replaces it
+//!   whenever it receives a higher-tagged write ([`AbdKeyState`]).
+//! * PUT ([`AbdPut`]): phase 1 queries `q1` servers for their tags; phase 2 propagates the
+//!   new `(tag, value)` to `q2` servers.
+//! * GET ([`AbdGet`]): phase 1 queries `q1` servers for `(tag, value)` pairs; phase 2
+//!   writes the highest pair back to `q2` servers. With the *optimized GET* enhancement the
+//!   read returns after phase 1 if at least `q2` of `max(q1, q2)` responses already carry
+//!   the highest tag (so the write-back would be a no-op).
+
+use crate::msg::{OpOutcome, OpProgress, Outbound, ProtoMsg, ProtoReply};
+use crate::quorum::QuorumTracker;
+use legostore_types::{
+    ClientId, ConfigEpoch, Configuration, DcId, Key, QuorumId, StoreError, Tag, Value,
+};
+use std::collections::BTreeMap;
+
+/// Per-key server state for ABD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbdKeyState {
+    /// Highest tag seen so far.
+    pub tag: Tag,
+    /// Value associated with [`Self::tag`].
+    pub value: Value,
+}
+
+impl AbdKeyState {
+    /// Initial state installed by CREATE or by a reconfiguration write.
+    pub fn new(tag: Tag, value: Value) -> Self {
+        AbdKeyState { tag, value }
+    }
+
+    /// Handles an ABD request, returning the reply.
+    pub fn handle(&mut self, msg: &ProtoMsg) -> ProtoReply {
+        match msg {
+            ProtoMsg::AbdReadQuery => ProtoReply::AbdTagValue {
+                tag: self.tag,
+                value: self.value.clone(),
+            },
+            ProtoMsg::AbdWriteQuery => ProtoReply::TagOnly { tag: self.tag },
+            ProtoMsg::AbdWrite { tag, value } => {
+                if *tag > self.tag {
+                    self.tag = *tag;
+                    self.value = value.clone();
+                }
+                ProtoReply::Ack
+            }
+            other => ProtoReply::Error(StoreError::Internal(format!(
+                "ABD server cannot handle {other:?}"
+            ))),
+        }
+    }
+
+    /// Bytes of storage this key consumes at the server (value only; tags are negligible).
+    pub fn storage_bytes(&self) -> u64 {
+        self.value.len() as u64
+    }
+}
+
+/// Client-side state machine for an ABD PUT.
+#[derive(Debug, Clone)]
+pub struct AbdPut {
+    key: Key,
+    epoch: ConfigEpoch,
+    config: Configuration,
+    client_dc: DcId,
+    client_id: ClientId,
+    value: Value,
+    phase: u8,
+    q1: QuorumTracker,
+    q2: QuorumTracker,
+    max_tag: Tag,
+    new_tag: Option<Tag>,
+}
+
+impl AbdPut {
+    /// Creates the state machine. `client_dc` selects the optimizer-recommended quorums.
+    pub fn new(
+        key: Key,
+        config: Configuration,
+        client_dc: DcId,
+        client_id: ClientId,
+        value: Value,
+    ) -> Self {
+        let q1 = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
+        let q2 = QuorumTracker::new(config.quorums.size(QuorumId::Q2));
+        AbdPut {
+            key,
+            epoch: config.epoch,
+            config,
+            client_dc,
+            client_id,
+            value,
+            phase: 1,
+            q1,
+            q2,
+            max_tag: Tag::INITIAL,
+            new_tag: None,
+        }
+    }
+
+    /// The tag this PUT will install (available once phase 1 completes).
+    pub fn chosen_tag(&self) -> Option<Tag> {
+        self.new_tag
+    }
+
+    /// Messages for phase 1 (write-query to quorum Q1).
+    pub fn start(&self) -> Vec<Outbound> {
+        self.config
+            .quorum_for(self.client_dc, QuorumId::Q1)
+            .into_iter()
+            .map(|to| Outbound {
+                to,
+                phase: 1,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: ProtoMsg::AbdWriteQuery,
+            })
+            .collect()
+    }
+
+    /// Feeds one reply (tagged with the phase it answers) into the state machine.
+    pub fn on_reply(&mut self, from: DcId, phase: u8, reply: ProtoReply) -> OpProgress {
+        if let ProtoReply::OperationFail { new_config } = reply {
+            return OpProgress::Done(OpOutcome::Reconfigured { new_config });
+        }
+        if phase != self.phase {
+            return OpProgress::Pending;
+        }
+        match (self.phase, reply) {
+            (1, ProtoReply::TagOnly { tag }) => {
+                self.max_tag = self.max_tag.max(tag);
+                if self.q1.record(from) {
+                    let new_tag = self.max_tag.successor(self.client_id);
+                    self.new_tag = Some(new_tag);
+                    self.phase = 2;
+                    let msgs = self
+                        .config
+                        .quorum_for(self.client_dc, QuorumId::Q2)
+                        .into_iter()
+                        .map(|to| Outbound {
+                            to,
+                            phase: 2,
+                            key: self.key.clone(),
+                            epoch: self.epoch,
+                            msg: ProtoMsg::AbdWrite {
+                                tag: new_tag,
+                                value: self.value.clone(),
+                            },
+                        })
+                        .collect();
+                    OpProgress::Send(msgs)
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (2, ProtoReply::Ack) => {
+                if self.q2.record(from) {
+                    OpProgress::Done(OpOutcome::PutOk {
+                        tag: self.new_tag.expect("tag chosen in phase 1"),
+                    })
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
+                OpProgress::Done(OpOutcome::Failed(e))
+            }
+            _ => OpProgress::Pending,
+        }
+    }
+}
+
+/// Client-side state machine for an ABD GET.
+#[derive(Debug, Clone)]
+pub struct AbdGet {
+    key: Key,
+    epoch: ConfigEpoch,
+    config: Configuration,
+    client_dc: DcId,
+    phase: u8,
+    optimized: bool,
+    /// Phase-1 quorum target: `q1` normally, `max(q1, q2)` when the optimized fast path is
+    /// enabled.
+    phase1: QuorumTracker,
+    q2: QuorumTracker,
+    /// Highest `(tag, value)` pair seen in phase 1.
+    best: Option<(Tag, Value)>,
+    /// How many phase-1 responders reported each tag (needed for the fast-path test).
+    tag_counts: BTreeMap<Tag, usize>,
+}
+
+impl AbdGet {
+    /// Creates the state machine. When `optimized` is true the GET may complete in one
+    /// phase if enough servers already store the highest tag.
+    pub fn new(key: Key, config: Configuration, client_dc: DcId, optimized: bool) -> Self {
+        let q1 = config.quorums.size(QuorumId::Q1);
+        let q2 = config.quorums.size(QuorumId::Q2);
+        let phase1_needed = if optimized { q1.max(q2) } else { q1 };
+        AbdGet {
+            key,
+            epoch: config.epoch,
+            config: config.clone(),
+            client_dc,
+            phase: 1,
+            optimized,
+            phase1: QuorumTracker::new(phase1_needed),
+            q2: QuorumTracker::new(q2),
+            best: None,
+            tag_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Messages for phase 1 (read-query).
+    pub fn start(&self) -> Vec<Outbound> {
+        let mut targets = self.config.quorum_for(self.client_dc, QuorumId::Q1);
+        if self.optimized {
+            // Need max(q1, q2) responses; widen the target set with the Q2 preference.
+            for dc in self.config.quorum_for(self.client_dc, QuorumId::Q2) {
+                if !targets.contains(&dc) {
+                    targets.push(dc);
+                }
+            }
+        }
+        targets
+            .into_iter()
+            .map(|to| Outbound {
+                to,
+                phase: 1,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: ProtoMsg::AbdReadQuery,
+            })
+            .collect()
+    }
+
+    /// Feeds one reply into the state machine.
+    pub fn on_reply(&mut self, from: DcId, phase: u8, reply: ProtoReply) -> OpProgress {
+        if let ProtoReply::OperationFail { new_config } = reply {
+            return OpProgress::Done(OpOutcome::Reconfigured { new_config });
+        }
+        if phase != self.phase {
+            return OpProgress::Pending;
+        }
+        match (self.phase, reply) {
+            (1, ProtoReply::AbdTagValue { tag, value }) => {
+                if self.phase1.has_responded(from) {
+                    return OpProgress::Pending;
+                }
+                match &self.best {
+                    Some((t, _)) if *t >= tag => {}
+                    _ => self.best = Some((tag, value)),
+                }
+                *self.tag_counts.entry(tag).or_insert(0) += 1;
+                if self.phase1.record(from) {
+                    let (tag, value) = self.best.clone().expect("at least one response");
+                    if self.optimized {
+                        let max_count = self.tag_counts.get(&tag).copied().unwrap_or(0);
+                        if max_count >= self.q2.needed() {
+                            return OpProgress::Done(OpOutcome::GetOk {
+                                tag,
+                                value,
+                                one_phase: true,
+                            });
+                        }
+                    }
+                    self.phase = 2;
+                    let msgs = self
+                        .config
+                        .quorum_for(self.client_dc, QuorumId::Q2)
+                        .into_iter()
+                        .map(|to| Outbound {
+                            to,
+                            phase: 2,
+                            key: self.key.clone(),
+                            epoch: self.epoch,
+                            msg: ProtoMsg::AbdWrite {
+                                tag,
+                                value: value.clone(),
+                            },
+                        })
+                        .collect();
+                    OpProgress::Send(msgs)
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (2, ProtoReply::Ack) => {
+                if self.q2.record(from) {
+                    let (tag, value) = self.best.clone().expect("phase 1 completed");
+                    OpProgress::Done(OpOutcome::GetOk {
+                        tag,
+                        value,
+                        one_phase: false,
+                    })
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
+                OpProgress::Done(OpOutcome::Failed(e))
+            }
+            _ => OpProgress::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcs(n: usize) -> Vec<DcId> {
+        (0..n).map(DcId::from).collect()
+    }
+
+    fn config3() -> Configuration {
+        Configuration::abd_majority(dcs(3), 1)
+    }
+
+    /// Drives a full PUT against in-memory server states, returning the outcome.
+    fn run_put(
+        servers: &mut BTreeMap<DcId, AbdKeyState>,
+        config: &Configuration,
+        client_id: u32,
+        value: &str,
+    ) -> OpOutcome {
+        let mut put = AbdPut::new(
+            Key::from("k"),
+            config.clone(),
+            DcId(0),
+            ClientId(client_id),
+            Value::from(value),
+        );
+        let mut inflight = put.start();
+        loop {
+            let out = inflight.remove(0);
+            let reply = servers.get_mut(&out.to).unwrap().handle(&out.msg);
+            match put.on_reply(out.to, out.phase, reply) {
+                OpProgress::Pending => {}
+                OpProgress::Send(more) => inflight.extend(more),
+                OpProgress::Done(outcome) => return outcome,
+            }
+            assert!(!inflight.is_empty(), "protocol stalled");
+        }
+    }
+
+    fn run_get(
+        servers: &mut BTreeMap<DcId, AbdKeyState>,
+        config: &Configuration,
+        optimized: bool,
+    ) -> OpOutcome {
+        let mut get = AbdGet::new(Key::from("k"), config.clone(), DcId(0), optimized);
+        let mut inflight = get.start();
+        loop {
+            let out = inflight.remove(0);
+            let reply = servers.get_mut(&out.to).unwrap().handle(&out.msg);
+            match get.on_reply(out.to, out.phase, reply) {
+                OpProgress::Pending => {}
+                OpProgress::Send(more) => inflight.extend(more),
+                OpProgress::Done(outcome) => return outcome,
+            }
+            assert!(!inflight.is_empty(), "protocol stalled");
+        }
+    }
+
+    fn fresh_servers(config: &Configuration) -> BTreeMap<DcId, AbdKeyState> {
+        config
+            .dcs
+            .iter()
+            .map(|d| (*d, AbdKeyState::new(Tag::INITIAL, Value::from("init"))))
+            .collect()
+    }
+
+    #[test]
+    fn put_then_get_round_trip() {
+        let config = config3();
+        let mut servers = fresh_servers(&config);
+        let outcome = run_put(&mut servers, &config, 1, "v1");
+        let OpOutcome::PutOk { tag } = outcome else { panic!("{outcome:?}") };
+        assert_eq!(tag.seq, 1);
+        let outcome = run_get(&mut servers, &config, false);
+        let OpOutcome::GetOk { value, one_phase, .. } = outcome else { panic!("{outcome:?}") };
+        assert_eq!(value, Value::from("v1"));
+        assert!(!one_phase);
+    }
+
+    #[test]
+    fn get_of_initial_value() {
+        let config = config3();
+        let mut servers = fresh_servers(&config);
+        let OpOutcome::GetOk { tag, value, .. } = run_get(&mut servers, &config, false) else {
+            panic!()
+        };
+        assert_eq!(tag, Tag::INITIAL);
+        assert_eq!(value, Value::from("init"));
+    }
+
+    #[test]
+    fn successive_puts_use_increasing_tags() {
+        let config = config3();
+        let mut servers = fresh_servers(&config);
+        let OpOutcome::PutOk { tag: t1 } = run_put(&mut servers, &config, 1, "a") else { panic!() };
+        let OpOutcome::PutOk { tag: t2 } = run_put(&mut servers, &config, 2, "b") else { panic!() };
+        assert!(t2 > t1);
+        let OpOutcome::GetOk { value, .. } = run_get(&mut servers, &config, false) else { panic!() };
+        assert_eq!(value, Value::from("b"));
+    }
+
+    #[test]
+    fn optimized_get_completes_in_one_phase_when_replicas_agree() {
+        let config = config3();
+        let mut servers = fresh_servers(&config);
+        run_put(&mut servers, &config, 1, "stable");
+        let OpOutcome::GetOk { value, one_phase, .. } = run_get(&mut servers, &config, true) else {
+            panic!()
+        };
+        assert_eq!(value, Value::from("stable"));
+        assert!(one_phase, "all replicas agree, fast path must trigger");
+    }
+
+    #[test]
+    fn optimized_get_falls_back_when_replicas_disagree() {
+        let config = config3();
+        let mut servers = fresh_servers(&config);
+        // Manually install a newer version at only one server (as if a PUT is in flight).
+        let newer = Tag::new(5, ClientId(9));
+        servers
+            .get_mut(&DcId(1))
+            .unwrap()
+            .handle(&ProtoMsg::AbdWrite { tag: newer, value: Value::from("new") });
+        let OpOutcome::GetOk { tag, value, one_phase } = run_get(&mut servers, &config, true) else {
+            panic!()
+        };
+        // The read must return the newer value (it saw it) and must have written it back.
+        assert_eq!(tag, newer);
+        assert_eq!(value, Value::from("new"));
+        assert!(!one_phase, "disagreement forces the write-back phase");
+        // Write-back propagated the newer version to a quorum.
+        let holders = servers.values().filter(|s| s.tag == newer).count();
+        assert!(holders >= 2);
+    }
+
+    #[test]
+    fn stale_write_does_not_overwrite_newer_value() {
+        let mut s = AbdKeyState::new(Tag::new(5, ClientId(1)), Value::from("new"));
+        let reply = s.handle(&ProtoMsg::AbdWrite { tag: Tag::new(3, ClientId(2)), value: Value::from("old") });
+        assert_eq!(reply, ProtoReply::Ack);
+        assert_eq!(s.value, Value::from("new"));
+        assert_eq!(s.tag, Tag::new(5, ClientId(1)));
+    }
+
+    #[test]
+    fn server_rejects_cas_messages() {
+        let mut s = AbdKeyState::new(Tag::INITIAL, Value::empty());
+        let reply = s.handle(&ProtoMsg::CasQuery);
+        assert!(matches!(reply, ProtoReply::Error(StoreError::Internal(_))));
+    }
+
+    #[test]
+    fn put_ignores_replies_from_previous_phase() {
+        let config = config3();
+        let mut put = AbdPut::new(Key::from("k"), config.clone(), DcId(0), ClientId(1), Value::from("x"));
+        let start = put.start();
+        assert_eq!(start.len(), 2); // q1 = 2 for N=3 majority
+        // First phase-1 reply: still pending.
+        assert_eq!(
+            put.on_reply(DcId(0), 1, ProtoReply::TagOnly { tag: Tag::INITIAL }),
+            OpProgress::Pending
+        );
+        // Second phase-1 reply: transition to phase 2.
+        let OpProgress::Send(p2) = put.on_reply(DcId(1), 1, ProtoReply::TagOnly { tag: Tag::INITIAL }) else {
+            panic!()
+        };
+        assert_eq!(p2.len(), 2);
+        assert!(p2.iter().all(|o| o.phase == 2));
+        // A straggler phase-1 reply must be ignored.
+        assert_eq!(
+            put.on_reply(DcId(2), 1, ProtoReply::TagOnly { tag: Tag::new(9, ClientId(7)) }),
+            OpProgress::Pending
+        );
+        // Phase-2 acks complete the operation.
+        assert_eq!(put.on_reply(DcId(0), 2, ProtoReply::Ack), OpProgress::Pending);
+        let OpProgress::Done(OpOutcome::PutOk { tag }) = put.on_reply(DcId(1), 2, ProtoReply::Ack) else {
+            panic!()
+        };
+        assert_eq!(tag.seq, 1);
+        assert_eq!(put.chosen_tag(), Some(tag));
+    }
+
+    #[test]
+    fn put_chooses_tag_above_max_observed() {
+        let config = config3();
+        let mut put = AbdPut::new(Key::from("k"), config, DcId(0), ClientId(3), Value::from("x"));
+        put.start();
+        put.on_reply(DcId(0), 1, ProtoReply::TagOnly { tag: Tag::new(7, ClientId(2)) });
+        let OpProgress::Send(_) = put.on_reply(DcId(1), 1, ProtoReply::TagOnly { tag: Tag::new(4, ClientId(1)) }) else {
+            panic!()
+        };
+        assert_eq!(put.chosen_tag(), Some(Tag::new(8, ClientId(3))));
+    }
+
+    #[test]
+    fn operation_fail_aborts_with_new_config() {
+        let config = config3();
+        let mut new_config = config.clone();
+        new_config.epoch = new_config.epoch.next();
+        let mut put = AbdPut::new(Key::from("k"), config.clone(), DcId(0), ClientId(1), Value::from("x"));
+        put.start();
+        let progress = put.on_reply(
+            DcId(0),
+            1,
+            ProtoReply::OperationFail { new_config: Box::new(new_config.clone()) },
+        );
+        let OpProgress::Done(OpOutcome::Reconfigured { new_config: got }) = progress else {
+            panic!("{progress:?}")
+        };
+        assert_eq!(got.epoch, new_config.epoch);
+    }
+
+    #[test]
+    fn get_duplicate_phase1_replies_do_not_count_twice() {
+        let config = config3();
+        let mut get = AbdGet::new(Key::from("k"), config, DcId(0), false);
+        get.start();
+        let r = ProtoReply::AbdTagValue { tag: Tag::INITIAL, value: Value::from("v") };
+        assert_eq!(get.on_reply(DcId(0), 1, r.clone()), OpProgress::Pending);
+        assert_eq!(get.on_reply(DcId(0), 1, r.clone()), OpProgress::Pending);
+        // Only a second *distinct* responder completes the quorum.
+        assert!(matches!(get.on_reply(DcId(1), 1, r), OpProgress::Send(_)));
+    }
+
+    #[test]
+    fn key_not_found_error_fails_operation() {
+        let config = config3();
+        let mut get = AbdGet::new(Key::from("k"), config, DcId(0), false);
+        get.start();
+        let progress = get.on_reply(
+            DcId(0),
+            1,
+            ProtoReply::Error(StoreError::KeyNotFound(Key::from("k"))),
+        );
+        assert!(matches!(progress, OpProgress::Done(OpOutcome::Failed(_))));
+    }
+}

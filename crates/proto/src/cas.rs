@@ -1,0 +1,721 @@
+//! The CAS (Coded Atomic Storage) protocol — Figures 8 and 9 of the paper.
+//!
+//! Servers store a list of `(tag, codeword symbol?, label)` triples per key, where the label
+//! is `pre` (value staged but not yet safe to expose) or `fin` (finalized). PUT runs three
+//! phases (query, pre-write, finalize); GET runs two (query, finalize-read + decode). The
+//! *optimized GET* uses a client-side cache of the last decoded `(tag, value)` to finish in
+//! one phase when the highest finalized tag has not changed.
+//!
+//! Garbage collection (Appendix F) prunes triples older than the latest finalized version;
+//! it never affects safety, only the ability of very slow concurrent readers to terminate,
+//! and the paper sets the horizon orders of magnitude above operation latencies.
+
+use crate::msg::{OpOutcome, OpProgress, Outbound, ProtoMsg, ProtoReply};
+use crate::quorum::QuorumTracker;
+use legostore_erasure::{decode_value, encode_value, Shard};
+use legostore_types::{
+    ClientId, ConfigEpoch, Configuration, DcId, Key, QuorumId, StoreError, Tag, Value,
+};
+use std::collections::BTreeMap;
+
+/// Label attached to every stored triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Staged by a pre-write; not yet visible to queries.
+    Pre,
+    /// Finalized; visible to queries.
+    Fin,
+}
+
+/// Per-key server state for CAS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CasKeyState {
+    /// Version history: tag → (codeword symbol if stored locally, label).
+    triples: BTreeMap<Tag, (Option<Vec<u8>>, Label)>,
+}
+
+impl CasKeyState {
+    /// Initial state holding this server's codeword symbol of the initial value, finalized.
+    pub fn new(tag: Tag, shard: Option<Vec<u8>>) -> Self {
+        let mut triples = BTreeMap::new();
+        triples.insert(tag, (shard, Label::Fin));
+        CasKeyState { triples }
+    }
+
+    /// Highest tag labeled `fin`, if any.
+    pub fn highest_fin(&self) -> Option<Tag> {
+        self.triples
+            .iter()
+            .rev()
+            .find(|(_, (_, l))| *l == Label::Fin)
+            .map(|(t, _)| *t)
+    }
+
+    /// Number of stored triples (used by GC tests and storage metering).
+    pub fn version_count(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Bytes of storage consumed by all stored symbols.
+    pub fn storage_bytes(&self) -> u64 {
+        self.triples
+            .values()
+            .map(|(s, _)| s.as_ref().map(|v| v.len() as u64).unwrap_or(0))
+            .sum()
+    }
+
+    /// Handles a CAS request, returning the reply.
+    pub fn handle(&mut self, msg: &ProtoMsg) -> ProtoReply {
+        match msg {
+            ProtoMsg::CasQuery => match self.highest_fin() {
+                Some(tag) => ProtoReply::TagOnly { tag },
+                None => ProtoReply::TagOnly { tag: Tag::INITIAL },
+            },
+            ProtoMsg::CasPreWrite { tag, shard } => {
+                self.triples
+                    .entry(*tag)
+                    .or_insert_with(|| (Some(shard.clone()), Label::Pre));
+                ProtoReply::Ack
+            }
+            ProtoMsg::CasFinalizeWrite { tag } => {
+                match self.triples.get_mut(tag) {
+                    Some((_, label)) => *label = Label::Fin,
+                    None => {
+                        self.triples.insert(*tag, (None, Label::Fin));
+                    }
+                }
+                ProtoReply::Ack
+            }
+            ProtoMsg::CasFinalizeRead { tag } => match self.triples.get_mut(tag) {
+                Some((shard, label)) => {
+                    *label = Label::Fin;
+                    ProtoReply::CasShard {
+                        tag: *tag,
+                        shard: shard.clone(),
+                    }
+                }
+                None => {
+                    self.triples.insert(*tag, (None, Label::Fin));
+                    ProtoReply::CasShard { tag: *tag, shard: None }
+                }
+            },
+            other => ProtoReply::Error(StoreError::Internal(format!(
+                "CAS server cannot handle {other:?}"
+            ))),
+        }
+    }
+
+    /// Garbage-collects versions strictly older than the highest finalized tag.
+    ///
+    /// `keep_recent` additional most-recent older versions are retained as a safety margin
+    /// for slow concurrent readers (the paper uses a time horizon; a version-count horizon
+    /// is equivalent for bounded-latency operations). Returns the number of removed triples.
+    pub fn garbage_collect(&mut self, keep_recent: usize) -> usize {
+        let Some(highest_fin) = self.highest_fin() else {
+            return 0;
+        };
+        let older: Vec<Tag> = self
+            .triples
+            .range(..highest_fin)
+            .rev()
+            .skip(keep_recent)
+            .map(|(t, _)| *t)
+            .collect();
+        let removed = older.len();
+        for t in older {
+            self.triples.remove(&t);
+        }
+        removed
+    }
+}
+
+/// Client-side state machine for a CAS PUT (3 phases).
+#[derive(Debug, Clone)]
+pub struct CasPut {
+    key: Key,
+    epoch: ConfigEpoch,
+    config: Configuration,
+    client_dc: DcId,
+    client_id: ClientId,
+    value: Value,
+    phase: u8,
+    q1: QuorumTracker,
+    q2: QuorumTracker,
+    q3: QuorumTracker,
+    max_tag: Tag,
+    new_tag: Option<Tag>,
+}
+
+impl CasPut {
+    /// Creates the state machine.
+    pub fn new(
+        key: Key,
+        config: Configuration,
+        client_dc: DcId,
+        client_id: ClientId,
+        value: Value,
+    ) -> Self {
+        let q1 = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
+        let q2 = QuorumTracker::new(config.quorums.size(QuorumId::Q2));
+        let q3 = QuorumTracker::new(config.quorums.size(QuorumId::Q3));
+        CasPut {
+            key,
+            epoch: config.epoch,
+            config,
+            client_dc,
+            client_id,
+            value,
+            phase: 1,
+            q1,
+            q2,
+            q3,
+            max_tag: Tag::INITIAL,
+            new_tag: None,
+        }
+    }
+
+    /// The tag this PUT will install (available once phase 1 completes).
+    pub fn chosen_tag(&self) -> Option<Tag> {
+        self.new_tag
+    }
+
+    /// Messages for phase 1 (query).
+    pub fn start(&self) -> Vec<Outbound> {
+        self.config
+            .quorum_for(self.client_dc, QuorumId::Q1)
+            .into_iter()
+            .map(|to| Outbound {
+                to,
+                phase: 1,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: ProtoMsg::CasQuery,
+            })
+            .collect()
+    }
+
+    fn pre_write_messages(&self, tag: Tag) -> Vec<Outbound> {
+        let shards: Vec<Shard> = encode_value(self.value.as_bytes(), self.config.n, self.config.k)
+            .expect("configuration was validated");
+        self.config
+            .quorum_for(self.client_dc, QuorumId::Q2)
+            .into_iter()
+            .filter_map(|to| {
+                let idx = self.config.symbol_index(to)?;
+                Some(Outbound {
+                    to,
+                    phase: 2,
+                    key: self.key.clone(),
+                    epoch: self.epoch,
+                    msg: ProtoMsg::CasPreWrite {
+                        tag,
+                        shard: shards[idx].data.clone(),
+                    },
+                })
+            })
+            .collect()
+    }
+
+    fn finalize_messages(&self, tag: Tag) -> Vec<Outbound> {
+        self.config
+            .quorum_for(self.client_dc, QuorumId::Q3)
+            .into_iter()
+            .map(|to| Outbound {
+                to,
+                phase: 3,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: ProtoMsg::CasFinalizeWrite { tag },
+            })
+            .collect()
+    }
+
+    /// Feeds one reply into the state machine.
+    pub fn on_reply(&mut self, from: DcId, phase: u8, reply: ProtoReply) -> OpProgress {
+        if let ProtoReply::OperationFail { new_config } = reply {
+            return OpProgress::Done(OpOutcome::Reconfigured { new_config });
+        }
+        if phase != self.phase {
+            return OpProgress::Pending;
+        }
+        match (self.phase, reply) {
+            (1, ProtoReply::TagOnly { tag }) => {
+                self.max_tag = self.max_tag.max(tag);
+                if self.q1.record(from) {
+                    let new_tag = self.max_tag.successor(self.client_id);
+                    self.new_tag = Some(new_tag);
+                    self.phase = 2;
+                    OpProgress::Send(self.pre_write_messages(new_tag))
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (2, ProtoReply::Ack) => {
+                if self.q2.record(from) {
+                    self.phase = 3;
+                    OpProgress::Send(self.finalize_messages(self.new_tag.expect("set in phase 1")))
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (3, ProtoReply::Ack) => {
+                if self.q3.record(from) {
+                    OpProgress::Done(OpOutcome::PutOk {
+                        tag: self.new_tag.expect("set in phase 1"),
+                    })
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
+                OpProgress::Done(OpOutcome::Failed(e))
+            }
+            _ => OpProgress::Pending,
+        }
+    }
+}
+
+/// Client-side state machine for a CAS GET (2 phases, optional one-phase fast path).
+#[derive(Debug, Clone)]
+pub struct CasGet {
+    key: Key,
+    epoch: ConfigEpoch,
+    config: Configuration,
+    client_dc: DcId,
+    phase: u8,
+    q1: QuorumTracker,
+    q4: QuorumTracker,
+    max_fin_tag: Tag,
+    target_tag: Option<Tag>,
+    shards: Vec<Shard>,
+    /// Targets of the finalize-read phase (needed to detect exhaustion).
+    phase2_targets: usize,
+    phase2_responses: usize,
+    /// Client-side cache from a previous GET: `(tag, value)` (the optimized-GET fast path).
+    cache: Option<(Tag, Value)>,
+}
+
+impl CasGet {
+    /// Creates the state machine. `cache` carries the client's last decoded `(tag, value)`
+    /// for this key; if the highest finalized tag is unchanged the GET finishes in one phase.
+    pub fn new(
+        key: Key,
+        config: Configuration,
+        client_dc: DcId,
+        cache: Option<(Tag, Value)>,
+    ) -> Self {
+        let q1 = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
+        let q4 = QuorumTracker::new(config.quorums.size(QuorumId::Q4));
+        CasGet {
+            key,
+            epoch: config.epoch,
+            config,
+            client_dc,
+            phase: 1,
+            q1,
+            q4,
+            max_fin_tag: Tag::INITIAL,
+            target_tag: None,
+            shards: Vec::new(),
+            phase2_targets: 0,
+            phase2_responses: 0,
+            cache,
+        }
+    }
+
+    /// Messages for phase 1 (query for the highest finalized tag).
+    pub fn start(&self) -> Vec<Outbound> {
+        self.config
+            .quorum_for(self.client_dc, QuorumId::Q1)
+            .into_iter()
+            .map(|to| Outbound {
+                to,
+                phase: 1,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: ProtoMsg::CasQuery,
+            })
+            .collect()
+    }
+
+    fn finalize_read_messages(&mut self, tag: Tag) -> Vec<Outbound> {
+        let targets = self.config.quorum_for(self.client_dc, QuorumId::Q4);
+        self.phase2_targets = targets.len();
+        targets
+            .into_iter()
+            .map(|to| Outbound {
+                to,
+                phase: 2,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: ProtoMsg::CasFinalizeRead { tag },
+            })
+            .collect()
+    }
+
+    /// Feeds one reply into the state machine.
+    pub fn on_reply(&mut self, from: DcId, phase: u8, reply: ProtoReply) -> OpProgress {
+        if let ProtoReply::OperationFail { new_config } = reply {
+            return OpProgress::Done(OpOutcome::Reconfigured { new_config });
+        }
+        if phase != self.phase {
+            return OpProgress::Pending;
+        }
+        match (self.phase, reply) {
+            (1, ProtoReply::TagOnly { tag }) => {
+                self.max_fin_tag = self.max_fin_tag.max(tag);
+                if self.q1.record(from) {
+                    let target = self.max_fin_tag;
+                    // Optimized GET: the cached value is exactly the finalized version the
+                    // second phase would decode.
+                    if let Some((cached_tag, cached_value)) = &self.cache {
+                        if *cached_tag == target {
+                            return OpProgress::Done(OpOutcome::GetOk {
+                                tag: target,
+                                value: cached_value.clone(),
+                                one_phase: true,
+                            });
+                        }
+                    }
+                    self.target_tag = Some(target);
+                    self.phase = 2;
+                    OpProgress::Send(self.finalize_read_messages(target))
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (2, ProtoReply::CasShard { tag, shard }) => {
+                self.phase2_responses += 1;
+                let target = self.target_tag.expect("phase 2 implies target chosen");
+                if tag == target {
+                    if let Some(data) = shard {
+                        if let Some(idx) = self.config.symbol_index(from) {
+                            self.shards.push(Shard::new(idx, data));
+                        }
+                    }
+                }
+                self.q4.record(from);
+                let have_quorum = self.q4.reached();
+                let have_symbols = self.shards.len() >= self.config.k;
+                if have_quorum && have_symbols {
+                    match decode_value(&self.shards, self.config.n, self.config.k) {
+                        Ok(bytes) => OpProgress::Done(OpOutcome::GetOk {
+                            tag: target,
+                            value: Value::from(bytes),
+                            one_phase: false,
+                        }),
+                        Err(_) => OpProgress::Done(OpOutcome::Failed(StoreError::DecodeFailed {
+                            have: self.shards.len(),
+                            need: self.config.k,
+                        })),
+                    }
+                } else if self.phase2_responses >= self.phase2_targets && !have_symbols {
+                    // Every contacted server answered but too few had the symbol; the hosting
+                    // runtime will widen the quorum / retry.
+                    OpProgress::Done(OpOutcome::Failed(StoreError::DecodeFailed {
+                        have: self.shards.len(),
+                        need: self.config.k,
+                    }))
+                } else {
+                    OpProgress::Pending
+                }
+            }
+            (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
+                OpProgress::Done(OpOutcome::Failed(e))
+            }
+            _ => OpProgress::Pending,
+        }
+    }
+}
+
+/// Builds the per-server initial CAS states for a fresh key: encodes `initial` under the
+/// configuration's code and hands each hosting DC its own symbol with tag
+/// [`Tag::INITIAL`].
+pub fn initial_cas_states(
+    config: &Configuration,
+    initial: &Value,
+) -> BTreeMap<DcId, CasKeyState> {
+    let shards =
+        encode_value(initial.as_bytes(), config.n, config.k).expect("validated configuration");
+    config
+        .dcs
+        .iter()
+        .map(|dc| {
+            let idx = config.symbol_index(*dc).expect("dc in placement");
+            (
+                *dc,
+                CasKeyState::new(Tag::INITIAL, Some(shards[idx].data.clone())),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcs(n: usize) -> Vec<DcId> {
+        (0..n).map(DcId::from).collect()
+    }
+
+    fn config53() -> Configuration {
+        Configuration::cas_default(dcs(5), 3, 1)
+    }
+
+    fn run_put(
+        servers: &mut BTreeMap<DcId, CasKeyState>,
+        config: &Configuration,
+        client_id: u32,
+        value: &Value,
+    ) -> OpOutcome {
+        let mut put = CasPut::new(
+            Key::from("k"),
+            config.clone(),
+            DcId(0),
+            ClientId(client_id),
+            value.clone(),
+        );
+        let mut inflight = put.start();
+        loop {
+            let out = inflight.remove(0);
+            let reply = servers.get_mut(&out.to).unwrap().handle(&out.msg);
+            match put.on_reply(out.to, out.phase, reply) {
+                OpProgress::Pending => {}
+                OpProgress::Send(more) => inflight.extend(more),
+                OpProgress::Done(outcome) => return outcome,
+            }
+            assert!(!inflight.is_empty(), "protocol stalled");
+        }
+    }
+
+    fn run_get(
+        servers: &mut BTreeMap<DcId, CasKeyState>,
+        config: &Configuration,
+        cache: Option<(Tag, Value)>,
+    ) -> OpOutcome {
+        let mut get = CasGet::new(Key::from("k"), config.clone(), DcId(0), cache);
+        let mut inflight = get.start();
+        loop {
+            let out = inflight.remove(0);
+            let reply = servers.get_mut(&out.to).unwrap().handle(&out.msg);
+            match get.on_reply(out.to, out.phase, reply) {
+                OpProgress::Pending => {}
+                OpProgress::Send(more) => inflight.extend(more),
+                OpProgress::Done(outcome) => return outcome,
+            }
+            assert!(!inflight.is_empty(), "protocol stalled");
+        }
+    }
+
+    #[test]
+    fn put_then_get_round_trip() {
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        let payload = Value::filler(1000);
+        let OpOutcome::PutOk { tag } = run_put(&mut servers, &config, 1, &payload) else {
+            panic!()
+        };
+        assert_eq!(tag.seq, 1);
+        let OpOutcome::GetOk { value, one_phase, tag: read_tag } =
+            run_get(&mut servers, &config, None)
+        else {
+            panic!()
+        };
+        assert_eq!(value, payload);
+        assert_eq!(read_tag, tag);
+        assert!(!one_phase);
+    }
+
+    #[test]
+    fn get_of_initial_value() {
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("genesis"));
+        let OpOutcome::GetOk { tag, value, .. } = run_get(&mut servers, &config, None) else {
+            panic!()
+        };
+        assert_eq!(tag, Tag::INITIAL);
+        assert_eq!(value, Value::from("genesis"));
+    }
+
+    #[test]
+    fn cached_get_completes_in_one_phase() {
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        let payload = Value::filler(512);
+        let OpOutcome::PutOk { tag } = run_put(&mut servers, &config, 1, &payload) else {
+            panic!()
+        };
+        // Second GET with the (tag, value) cache hits the fast path.
+        let OpOutcome::GetOk { value, one_phase, .. } =
+            run_get(&mut servers, &config, Some((tag, payload.clone())))
+        else {
+            panic!()
+        };
+        assert!(one_phase);
+        assert_eq!(value, payload);
+        // A stale cache (older tag) must not trigger the fast path.
+        let newer = Value::filler(64);
+        run_put(&mut servers, &config, 2, &newer);
+        let OpOutcome::GetOk { value, one_phase, .. } =
+            run_get(&mut servers, &config, Some((tag, payload)))
+        else {
+            panic!()
+        };
+        assert!(!one_phase);
+        assert_eq!(value, newer);
+    }
+
+    #[test]
+    fn unfinalized_prewrite_is_invisible_to_reads() {
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        // Stage a pre-write at every server but never finalize it.
+        let tag = Tag::new(7, ClientId(9));
+        let shards = encode_value(b"hidden", config.n, config.k).unwrap();
+        for (dc, state) in servers.iter_mut() {
+            let idx = config.symbol_index(*dc).unwrap();
+            state.handle(&ProtoMsg::CasPreWrite { tag, shard: shards[idx].data.clone() });
+        }
+        // A GET must still return the initial value.
+        let OpOutcome::GetOk { tag: read_tag, value, .. } = run_get(&mut servers, &config, None)
+        else {
+            panic!()
+        };
+        assert_eq!(read_tag, Tag::INITIAL);
+        assert_eq!(value, Value::from("init"));
+    }
+
+    #[test]
+    fn finalize_read_propagates_fin_label() {
+        // The GET's second phase acts as a write-back of the `fin` label.
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        let payload = Value::filler(128);
+        run_put(&mut servers, &config, 1, &payload);
+        // After the PUT, finalize reached q3 servers; run a GET and then every server that
+        // was contacted in phase 2 must have the tag finalized.
+        run_get(&mut servers, &config, None);
+        let fin_count = servers
+            .values()
+            .filter(|s| s.highest_fin().map(|t| t.seq) == Some(1))
+            .count();
+        assert!(fin_count >= config.quorums.size(QuorumId::Q4));
+    }
+
+    #[test]
+    fn concurrent_puts_resolve_by_tag_order() {
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        let a = Value::from("aaaa");
+        let b = Value::from("bbbb");
+        // Two sequential PUTs from different clients; the second sees the first's tag.
+        run_put(&mut servers, &config, 1, &a);
+        let OpOutcome::PutOk { tag: tb } = run_put(&mut servers, &config, 2, &b) else { panic!() };
+        assert_eq!(tb.seq, 2);
+        let OpOutcome::GetOk { value, .. } = run_get(&mut servers, &config, None) else { panic!() };
+        assert_eq!(value, b);
+    }
+
+    #[test]
+    fn cas_k1_behaves_like_replication() {
+        let config = Configuration::cas_default(dcs(4), 1, 1);
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        let v = Value::filler(257);
+        run_put(&mut servers, &config, 1, &v);
+        let OpOutcome::GetOk { value, .. } = run_get(&mut servers, &config, None) else { panic!() };
+        assert_eq!(value, v);
+    }
+
+    #[test]
+    fn garbage_collection_keeps_latest_fin_and_newer() {
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        for i in 0..5 {
+            run_put(&mut servers, &config, 1, &Value::filler(64 + i));
+        }
+        let s = servers.get_mut(&DcId(0)).unwrap();
+        let before = s.version_count();
+        assert!(before >= 3);
+        let removed = s.garbage_collect(0);
+        assert!(removed > 0);
+        // The highest finalized version survives and still answers queries.
+        let highest = s.highest_fin().unwrap();
+        assert_eq!(highest.seq, 5);
+        assert_eq!(s.version_count(), before - removed);
+        // Storage shrank or stayed equal.
+        let removed_again = s.garbage_collect(0);
+        assert_eq!(removed_again, 0);
+    }
+
+    #[test]
+    fn garbage_collection_respects_keep_recent() {
+        let mut s = CasKeyState::new(Tag::INITIAL, Some(vec![0u8; 8]));
+        for i in 1..=4u64 {
+            let t = Tag::new(i, ClientId(1));
+            s.handle(&ProtoMsg::CasPreWrite { tag: t, shard: vec![0u8; 8] });
+            s.handle(&ProtoMsg::CasFinalizeWrite { tag: t });
+        }
+        assert_eq!(s.version_count(), 5);
+        s.garbage_collect(2);
+        // Latest fin (seq 4) plus two older kept => 3 versions remain.
+        assert_eq!(s.version_count(), 3);
+        assert_eq!(s.highest_fin().unwrap().seq, 4);
+    }
+
+    #[test]
+    fn server_rejects_abd_messages() {
+        let mut s = CasKeyState::new(Tag::INITIAL, None);
+        assert!(matches!(
+            s.handle(&ProtoMsg::AbdReadQuery),
+            ProtoReply::Error(StoreError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn put_phases_target_the_right_quorums() {
+        let config = config53();
+        let put = CasPut::new(Key::from("k"), config.clone(), DcId(0), ClientId(1), Value::filler(300));
+        let p1 = put.start();
+        assert_eq!(p1.len(), config.quorums.size(QuorumId::Q1));
+        assert!(p1.iter().all(|o| matches!(o.msg, ProtoMsg::CasQuery)));
+        // Drive phase 1 manually to observe phase 2 fan-out and shard sizes.
+        let mut put = put;
+        let mut progress = OpProgress::Pending;
+        for (i, o) in p1.iter().enumerate() {
+            progress = put.on_reply(o.to, 1, ProtoReply::TagOnly { tag: Tag::INITIAL });
+            if i + 1 < config.quorums.size(QuorumId::Q1) {
+                assert_eq!(progress, OpProgress::Pending);
+            }
+        }
+        let OpProgress::Send(p2) = progress else { panic!() };
+        assert_eq!(p2.len(), config.quorums.size(QuorumId::Q2));
+        for o in &p2 {
+            let ProtoMsg::CasPreWrite { shard, .. } = &o.msg else { panic!() };
+            assert_eq!(shard.len(), legostore_erasure::shard_len(300, config.k));
+        }
+    }
+
+    #[test]
+    fn get_fails_cleanly_when_symbols_unavailable() {
+        // Servers know a fin tag but none has the symbol (e.g. GC'd beyond horizon plus a
+        // writer that crashed after finalize metadata-only writes). The GET must not hang.
+        let config = Configuration::cas_default(dcs(5), 3, 1);
+        let mut servers: BTreeMap<DcId, CasKeyState> = config
+            .dcs
+            .iter()
+            .map(|d| (*d, CasKeyState::new(Tag::new(3, ClientId(1)), None)))
+            .collect();
+        let outcome = run_get(&mut servers, &config, None);
+        assert!(matches!(outcome, OpOutcome::Failed(StoreError::DecodeFailed { .. })));
+    }
+
+    #[test]
+    fn initial_states_cover_all_hosts_with_distinct_symbols() {
+        let config = config53();
+        let servers = initial_cas_states(&config, &Value::filler(5000));
+        assert_eq!(servers.len(), 5);
+        let lens: Vec<u64> = servers.values().map(|s| s.storage_bytes()).collect();
+        assert!(lens.iter().all(|l| *l == lens[0]));
+        assert_eq!(lens[0], legostore_erasure::shard_len(5000, 3) as u64);
+    }
+}

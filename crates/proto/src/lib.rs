@@ -1,0 +1,34 @@
+//! Transport-agnostic implementations of LEGOStore's consistency protocols.
+//!
+//! This crate contains the protocol logic of the paper, factored as pure state machines so
+//! that the same code runs on the deterministic discrete-event simulator
+//! (`legostore-sim`), on the threaded in-process deployment (`legostore-core`), and in unit
+//! tests that drive message exchanges by hand:
+//!
+//! * [`abd`] — the Attiya–Bar-Noy–Dolev replication protocol (Figure 7 of the paper):
+//!   2-phase PUT, 2-phase GET, and the one-phase "optimized GET" fast path.
+//! * [`cas`] — Coded Atomic Storage (Figures 8–9): 3-phase PUT, 2-phase GET over
+//!   Reed–Solomon codeword symbols, optimized GET through a client-side cache, and server
+//!   garbage collection (Appendix F).
+//! * [`reconfig`] — the reconfiguration protocol (Algorithms 1–2, Appendix D): controller,
+//!   server-side blocking/fail-over behaviour and client retry handling.
+//! * [`server`] — the per-data-center server that hosts per-key, per-epoch protocol state
+//!   and dispatches the messages defined in [`msg`].
+//! * [`quorum`] — quorum bookkeeping shared by the client-side state machines.
+//!
+//! The state machines never perform I/O: clients emit [`msg::Outbound`] messages and consume
+//! replies via `on_reply`, servers map one inbound message to zero or more replies. The
+//! hosting runtime is responsible for delivery, timeouts and retries.
+
+pub mod abd;
+pub mod cas;
+pub mod msg;
+pub mod quorum;
+pub mod reconfig;
+pub mod server;
+
+pub use abd::{AbdGet, AbdPut};
+pub use cas::{CasGet, CasPut};
+pub use msg::{OpOutcome, OpProgress, Outbound, ProtoMsg, ProtoReply};
+pub use reconfig::{ReconfigController, ReconfigOutcome};
+pub use server::{DcServer, KeyServerState};

@@ -1,0 +1,95 @@
+//! Quorum bookkeeping for the client-side protocol state machines.
+
+use legostore_types::DcId;
+use std::collections::BTreeSet;
+
+/// Tracks which data centers have responded in the current phase and whether the phase's
+/// quorum has been reached.
+#[derive(Debug, Clone, Default)]
+pub struct QuorumTracker {
+    needed: usize,
+    responded: BTreeSet<DcId>,
+}
+
+impl QuorumTracker {
+    /// Starts a tracker that needs `needed` distinct responders.
+    pub fn new(needed: usize) -> Self {
+        QuorumTracker {
+            needed,
+            responded: BTreeSet::new(),
+        }
+    }
+
+    /// Records a response from `dc`. Returns `true` exactly once: when this response is the
+    /// one that completes the quorum.
+    pub fn record(&mut self, dc: DcId) -> bool {
+        if self.reached() {
+            self.responded.insert(dc);
+            return false;
+        }
+        self.responded.insert(dc);
+        self.reached()
+    }
+
+    /// True if a duplicate or new response from `dc` has already been counted.
+    pub fn has_responded(&self, dc: DcId) -> bool {
+        self.responded.contains(&dc)
+    }
+
+    /// True once at least `needed` distinct DCs responded.
+    pub fn reached(&self) -> bool {
+        self.responded.len() >= self.needed
+    }
+
+    /// Number of distinct responders so far.
+    pub fn count(&self) -> usize {
+        self.responded.len()
+    }
+
+    /// The quorum size this tracker waits for.
+    pub fn needed(&self) -> usize {
+        self.needed
+    }
+
+    /// The set of responders.
+    pub fn responders(&self) -> impl Iterator<Item = DcId> + '_ {
+        self.responded.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_is_reached_exactly_once() {
+        let mut q = QuorumTracker::new(2);
+        assert!(!q.reached());
+        assert!(!q.record(DcId(0)));
+        assert!(!q.record(DcId(0))); // duplicate doesn't count twice
+        assert_eq!(q.count(), 1);
+        assert!(q.record(DcId(1))); // completes the quorum
+        assert!(q.reached());
+        assert!(!q.record(DcId(2))); // extra responses don't re-trigger
+        assert_eq!(q.count(), 3);
+        assert_eq!(q.needed(), 2);
+        assert!(q.has_responded(DcId(2)));
+        assert!(!q.has_responded(DcId(5)));
+    }
+
+    #[test]
+    fn zero_quorum_is_immediately_reached() {
+        let q = QuorumTracker::new(0);
+        assert!(q.reached());
+    }
+
+    #[test]
+    fn responders_iterates_distinct_dcs() {
+        let mut q = QuorumTracker::new(3);
+        q.record(DcId(2));
+        q.record(DcId(1));
+        q.record(DcId(2));
+        let r: Vec<DcId> = q.responders().collect();
+        assert_eq!(r, vec![DcId(1), DcId(2)]);
+    }
+}

@@ -1,0 +1,684 @@
+//! The per-data-center server: hosts per-key, per-epoch protocol state, dispatches protocol
+//! messages, and implements the server side of the reconfiguration protocol (Algorithm 2).
+//!
+//! The server is transport-agnostic: the hosting runtime wraps every request in an
+//! [`Inbound`] envelope (carrying an opaque endpoint id, a message id and the sender's view
+//! of the configuration epoch) and delivers the returned [`Reply`] envelopes. One inbound
+//! message may produce zero replies (the request was deferred because a reconfiguration is
+//! in progress) or many (a `FinishReconfig` flushes all deferred requests).
+
+use crate::abd::AbdKeyState;
+use crate::cas::CasKeyState;
+use crate::msg::{ProtoMsg, ProtoReply, ReconfigPayload};
+use legostore_erasure::Shard;
+use legostore_types::{ConfigEpoch, Configuration, DcId, Key, ProtocolKind, StoreError, Tag, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Opaque identifier of the endpoint (client, controller, …) that sent a request; the
+/// runtime uses it to route the reply.
+pub type EndpointId = u64;
+
+/// A request envelope delivered to a [`DcServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inbound {
+    /// Reply routing handle.
+    pub from: EndpointId,
+    /// Unique message id, echoed in the reply.
+    pub msg_id: u64,
+    /// Client-side phase number, echoed in the reply.
+    pub phase: u8,
+    /// Key the request concerns.
+    pub key: Key,
+    /// Configuration epoch the sender believes is current.
+    pub epoch: ConfigEpoch,
+    /// Request body.
+    pub msg: ProtoMsg,
+}
+
+/// A reply envelope produced by a [`DcServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Endpoint the reply is addressed to.
+    pub to: EndpointId,
+    /// Echo of [`Inbound::msg_id`].
+    pub msg_id: u64,
+    /// Echo of [`Inbound::phase`].
+    pub phase: u8,
+    /// Key the reply concerns.
+    pub key: Key,
+    /// Reply body.
+    pub reply: ProtoReply,
+}
+
+/// Protocol-specific per-key state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoState {
+    /// Replication state.
+    Abd(AbdKeyState),
+    /// Erasure-coded state.
+    Cas(CasKeyState),
+}
+
+impl ProtoState {
+    fn handle(&mut self, msg: &ProtoMsg) -> ProtoReply {
+        match self {
+            ProtoState::Abd(s) => s.handle(msg),
+            ProtoState::Cas(s) => s.handle(msg),
+        }
+    }
+
+    /// Bytes of payload storage used by this key at this server.
+    pub fn storage_bytes(&self) -> u64 {
+        match self {
+            ProtoState::Abd(s) => s.storage_bytes(),
+            ProtoState::Cas(s) => s.storage_bytes(),
+        }
+    }
+}
+
+/// Whether the key is serving normally, blocked by an in-flight reconfiguration, or retired.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyStatus {
+    /// Serving client operations.
+    Active,
+    /// A `ReconfigQuery` was received; client operations are deferred until
+    /// `FinishReconfig`.
+    Blocked {
+        /// Requests deferred while blocked.
+        deferred: Vec<Inbound>,
+    },
+    /// The key moved to a new configuration; clients are redirected.
+    Retired {
+        /// Configuration clients should use instead.
+        new_config: Box<Configuration>,
+    },
+}
+
+/// Per-key, per-epoch state hosted at one data center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyServerState {
+    /// The configuration this state belongs to.
+    pub config: Configuration,
+    /// Protocol-specific state.
+    pub proto: ProtoState,
+    /// Serving status.
+    pub status: KeyStatus,
+}
+
+impl KeyServerState {
+    /// Bytes of storage used by this key state.
+    pub fn storage_bytes(&self) -> u64 {
+        self.proto.storage_bytes()
+    }
+}
+
+/// The server process of one data center.
+#[derive(Debug, Clone)]
+pub struct DcServer {
+    dc: DcId,
+    /// key → epoch → state. Multiple epochs coexist transiently during a reconfiguration.
+    keys: HashMap<Key, BTreeMap<ConfigEpoch, KeyServerState>>,
+    /// When true the server drops every message (models a DC failure).
+    failed: bool,
+}
+
+impl DcServer {
+    /// Creates the server for data center `dc`.
+    pub fn new(dc: DcId) -> Self {
+        DcServer {
+            dc,
+            keys: HashMap::new(),
+            failed: false,
+        }
+    }
+
+    /// The data center this server runs in.
+    pub fn dc(&self) -> DcId {
+        self.dc
+    }
+
+    /// Marks the server failed (drops all traffic) or recovered.
+    pub fn set_failed(&mut self, failed: bool) {
+        self.failed = failed;
+    }
+
+    /// True if the server is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Number of keys hosted (any epoch).
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total bytes of payload storage across all keys and epochs.
+    pub fn storage_bytes(&self) -> u64 {
+        self.keys
+            .values()
+            .flat_map(|epochs| epochs.values())
+            .map(|s| s.storage_bytes())
+            .sum()
+    }
+
+    /// Direct (non-networked) installation of a key, used by CREATE and by tests.
+    ///
+    /// `payload` must already be this server's replica value (ABD) or codeword symbol (CAS).
+    pub fn install_key(&mut self, key: Key, config: Configuration, tag: Tag, payload: ReconfigPayload) {
+        let proto = match (config.protocol, payload) {
+            (ProtocolKind::Abd, ReconfigPayload::Value(v)) => ProtoState::Abd(AbdKeyState::new(tag, v)),
+            (ProtocolKind::Cas, ReconfigPayload::Shard(s)) => {
+                ProtoState::Cas(CasKeyState::new(tag, Some(s)))
+            }
+            // Mismatched payloads are coerced: a value installed under CAS is treated as the
+            // degenerate k=1 symbol, a shard under ABD as an opaque value.
+            (ProtocolKind::Abd, ReconfigPayload::Shard(s)) => {
+                ProtoState::Abd(AbdKeyState::new(tag, Value::from(s)))
+            }
+            (ProtocolKind::Cas, ReconfigPayload::Value(v)) => {
+                ProtoState::Cas(CasKeyState::new(tag, Some(v.as_bytes().to_vec())))
+            }
+        };
+        self.keys.entry(key).or_default().insert(
+            config.epoch,
+            KeyServerState {
+                config,
+                proto,
+                status: KeyStatus::Active,
+            },
+        );
+    }
+
+    /// Removes every epoch of `key` (DELETE).
+    pub fn remove_key(&mut self, key: &Key) -> bool {
+        self.keys.remove(key).is_some()
+    }
+
+    /// Read-only access to a key's state at a specific epoch (tests, metrics).
+    pub fn key_state(&self, key: &Key, epoch: ConfigEpoch) -> Option<&KeyServerState> {
+        self.keys.get(key).and_then(|m| m.get(&epoch))
+    }
+
+    /// Latest epoch hosted for `key`.
+    pub fn latest_epoch(&self, key: &Key) -> Option<ConfigEpoch> {
+        self.keys
+            .get(key)
+            .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// Runs CAS garbage collection on every hosted key, returning the number of removed
+    /// versions.
+    pub fn garbage_collect(&mut self, keep_recent: usize) -> usize {
+        let mut removed = 0;
+        for epochs in self.keys.values_mut() {
+            for state in epochs.values_mut() {
+                if let ProtoState::Cas(cas) = &mut state.proto {
+                    removed += cas.garbage_collect(keep_recent);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Handles one inbound request, producing zero or more replies.
+    pub fn handle(&mut self, inbound: Inbound) -> Vec<Reply> {
+        if self.failed {
+            return Vec::new();
+        }
+        let key = inbound.key.clone();
+        // ReconfigWrite installs a brand-new epoch (possibly for a key this DC did not host
+        // before), so treat it before the existence checks.
+        if let ProtoMsg::ReconfigWrite { tag, data, config } = &inbound.msg {
+            self.install_key(key.clone(), (**config).clone(), *tag, data.clone());
+            return vec![Reply {
+                to: inbound.from,
+                msg_id: inbound.msg_id,
+                phase: inbound.phase,
+                key,
+                reply: ProtoReply::Ack,
+            }];
+        }
+        let Some(epochs) = self.keys.get_mut(&key) else {
+            return vec![Reply {
+                to: inbound.from,
+                msg_id: inbound.msg_id,
+                phase: inbound.phase,
+                key: key.clone(),
+                reply: ProtoReply::Error(StoreError::KeyNotFound(key)),
+            }];
+        };
+        let latest_epoch = *epochs.keys().next_back().expect("non-empty epoch map");
+        // A client using an older epoch than anything we host is redirected to the newest
+        // configuration we know about.
+        if inbound.epoch < *epochs.keys().next().expect("non-empty") {
+            let newest = epochs.get(&latest_epoch).expect("present");
+            return vec![Reply {
+                to: inbound.from,
+                msg_id: inbound.msg_id,
+                phase: inbound.phase,
+                key,
+                reply: ProtoReply::OperationFail {
+                    new_config: Box::new(newest.config.clone()),
+                },
+            }];
+        }
+        let Some(state) = epochs.get_mut(&inbound.epoch) else {
+            // The sender is ahead of us (it knows a newer epoch than we host). This can only
+            // happen for client traffic racing a reconfiguration; ask it to refresh.
+            return vec![Reply {
+                to: inbound.from,
+                msg_id: inbound.msg_id,
+                phase: inbound.phase,
+                key,
+                reply: ProtoReply::Error(StoreError::StaleConfiguration {
+                    observed: inbound.epoch,
+                    current: latest_epoch,
+                }),
+            }];
+        };
+        Self::handle_at_state(self.dc, state, inbound)
+    }
+
+    fn reply_of(inbound: &Inbound, reply: ProtoReply) -> Reply {
+        Reply {
+            to: inbound.from,
+            msg_id: inbound.msg_id,
+            phase: inbound.phase,
+            key: inbound.key.clone(),
+            reply,
+        }
+    }
+
+    fn handle_at_state(_dc: DcId, state: &mut KeyServerState, inbound: Inbound) -> Vec<Reply> {
+        match &mut state.status {
+            KeyStatus::Retired { new_config } => {
+                vec![Self::reply_of(
+                    &inbound,
+                    ProtoReply::OperationFail {
+                        new_config: new_config.clone(),
+                    },
+                )]
+            }
+            KeyStatus::Active => match &inbound.msg {
+                ProtoMsg::ReconfigQuery { .. } => {
+                    let reply = Self::reconfig_query_reply(state);
+                    state.status = KeyStatus::Blocked { deferred: Vec::new() };
+                    vec![Self::reply_of(&inbound, reply)]
+                }
+                ProtoMsg::ReconfigGet { tag } => {
+                    let reply = state.proto.handle(&ProtoMsg::CasFinalizeRead { tag: *tag });
+                    vec![Self::reply_of(&inbound, reply)]
+                }
+                ProtoMsg::FinishReconfig { highest_tag, new_config } => {
+                    let (ht, nc) = (*highest_tag, new_config.clone());
+                    Self::finish_reconfig(state, ht, nc, &inbound)
+                }
+                _ => {
+                    let reply = state.proto.handle(&inbound.msg);
+                    vec![Self::reply_of(&inbound, reply)]
+                }
+            },
+            KeyStatus::Blocked { deferred } => match &inbound.msg {
+                ProtoMsg::ReconfigGet { tag } => {
+                    let tag = *tag;
+                    let reply = state.proto.handle(&ProtoMsg::CasFinalizeRead { tag });
+                    vec![Self::reply_of(&inbound, reply)]
+                }
+                ProtoMsg::ReconfigQuery { .. } => {
+                    // Duplicate query (controller retry): answer it again.
+                    let reply = Self::reconfig_query_reply(state);
+                    vec![Self::reply_of(&inbound, reply)]
+                }
+                ProtoMsg::FinishReconfig { highest_tag, new_config } => {
+                    let (ht, nc) = (*highest_tag, new_config.clone());
+                    Self::finish_reconfig(state, ht, nc, &inbound)
+                }
+                _ => {
+                    deferred.push(inbound);
+                    Vec::new()
+                }
+            },
+        }
+    }
+
+    fn reconfig_query_reply(state: &mut KeyServerState) -> ProtoReply {
+        match &mut state.proto {
+            ProtoState::Abd(abd) => ProtoReply::AbdTagValue {
+                tag: abd.tag,
+                value: abd.value.clone(),
+            },
+            ProtoState::Cas(cas) => ProtoReply::TagOnly {
+                tag: cas.highest_fin().unwrap_or(Tag::INITIAL),
+            },
+        }
+    }
+
+    /// Implements the `FinishReconfig` handling of Algorithm 2: complete deferred operations
+    /// whose tag is at or below the controller's tag, fail the rest (and all queries) with
+    /// the new configuration, and retire this epoch.
+    fn finish_reconfig(
+        state: &mut KeyServerState,
+        highest_tag: Tag,
+        new_config: Box<Configuration>,
+        finish_inbound: &Inbound,
+    ) -> Vec<Reply> {
+        let deferred = match std::mem::replace(
+            &mut state.status,
+            KeyStatus::Retired {
+                new_config: new_config.clone(),
+            },
+        ) {
+            KeyStatus::Blocked { deferred } => deferred,
+            _ => Vec::new(),
+        };
+        let mut replies = Vec::with_capacity(deferred.len() + 1);
+        for pending in deferred {
+            let reply = match &pending.msg {
+                // Tag queries are restarted in the new configuration.
+                ProtoMsg::AbdReadQuery | ProtoMsg::AbdWriteQuery | ProtoMsg::CasQuery => {
+                    ProtoReply::OperationFail {
+                        new_config: new_config.clone(),
+                    }
+                }
+                // Value-carrying operations with tags at or below the transferred tag can
+                // complete in the old configuration (their effect is already captured).
+                ProtoMsg::AbdWrite { tag, .. }
+                | ProtoMsg::CasPreWrite { tag, .. }
+                | ProtoMsg::CasFinalizeWrite { tag }
+                | ProtoMsg::CasFinalizeRead { tag } => {
+                    if *tag <= highest_tag {
+                        state.proto.handle(&pending.msg)
+                    } else {
+                        ProtoReply::OperationFail {
+                            new_config: new_config.clone(),
+                        }
+                    }
+                }
+                _ => ProtoReply::OperationFail {
+                    new_config: new_config.clone(),
+                },
+            };
+            replies.push(Self::reply_of(&pending, reply));
+        }
+        replies.push(Self::reply_of(finish_inbound, ProtoReply::Ack));
+        replies
+    }
+
+    /// Helper used by CREATE: builds the per-DC payloads for installing `value` under
+    /// `config` (whole value for ABD, per-DC codeword symbol for CAS).
+    pub fn initial_payloads(
+        config: &Configuration,
+        value: &Value,
+    ) -> Vec<(DcId, ReconfigPayload)> {
+        match config.protocol {
+            ProtocolKind::Abd => config
+                .dcs
+                .iter()
+                .map(|dc| (*dc, ReconfigPayload::Value(value.clone())))
+                .collect(),
+            ProtocolKind::Cas => {
+                let shards: Vec<Shard> =
+                    legostore_erasure::encode_value(value.as_bytes(), config.n, config.k)
+                        .expect("validated configuration");
+                config
+                    .dcs
+                    .iter()
+                    .map(|dc| {
+                        let idx = config.symbol_index(*dc).expect("host");
+                        (*dc, ReconfigPayload::Shard(shards[idx].data.clone()))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_types::ClientId;
+
+    fn dcs(n: usize) -> Vec<DcId> {
+        (0..n).map(DcId::from).collect()
+    }
+
+    fn inbound(msg_id: u64, epoch: ConfigEpoch, msg: ProtoMsg) -> Inbound {
+        Inbound {
+            from: 7,
+            msg_id,
+            phase: 1,
+            key: Key::from("k"),
+            epoch,
+            msg,
+        }
+    }
+
+    fn abd_server_with_key() -> DcServer {
+        let config = Configuration::abd_majority(dcs(3), 1);
+        let mut s = DcServer::new(DcId(0));
+        s.install_key(
+            Key::from("k"),
+            config,
+            Tag::INITIAL,
+            ReconfigPayload::Value(Value::from("init")),
+        );
+        s
+    }
+
+    #[test]
+    fn unknown_key_returns_not_found() {
+        let mut s = DcServer::new(DcId(0));
+        let replies = s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::AbdReadQuery));
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(replies[0].reply, ProtoReply::Error(StoreError::KeyNotFound(_))));
+    }
+
+    #[test]
+    fn basic_abd_dispatch_and_metadata_echo() {
+        let mut s = abd_server_with_key();
+        let mut req = inbound(42, ConfigEpoch(0), ProtoMsg::AbdReadQuery);
+        req.phase = 3;
+        let replies = s.handle(req);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].msg_id, 42);
+        assert_eq!(replies[0].phase, 3);
+        assert_eq!(replies[0].to, 7);
+        assert!(matches!(replies[0].reply, ProtoReply::AbdTagValue { .. }));
+    }
+
+    #[test]
+    fn failed_server_drops_messages() {
+        let mut s = abd_server_with_key();
+        s.set_failed(true);
+        assert!(s.is_failed());
+        assert!(s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::AbdReadQuery)).is_empty());
+        s.set_failed(false);
+        assert_eq!(s.handle(inbound(2, ConfigEpoch(0), ProtoMsg::AbdReadQuery)).len(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_is_redirected() {
+        let mut s = abd_server_with_key();
+        // Install a newer epoch directly (as a reconfiguration write would).
+        let mut new_config = Configuration::abd_majority(dcs(3), 1);
+        new_config.epoch = ConfigEpoch(2);
+        s.install_key(
+            Key::from("k"),
+            new_config.clone(),
+            Tag::new(5, ClientId(1)),
+            ReconfigPayload::Value(Value::from("v5")),
+        );
+        // Remove the old epoch the way finish_reconfig would retire it: here we just query
+        // with the old epoch and expect a redirect only when the old epoch no longer exists.
+        let replies = s.handle(inbound(1, ConfigEpoch(1), ProtoMsg::AbdReadQuery));
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(
+            replies[0].reply,
+            ProtoReply::Error(StoreError::StaleConfiguration { .. })
+        ));
+        // An epoch older than everything hosted gets an OperationFail redirect. First drop
+        // the epoch-0 state by deleting and reinstalling only epoch 2.
+        let mut s2 = DcServer::new(DcId(0));
+        s2.install_key(
+            Key::from("k"),
+            new_config.clone(),
+            Tag::new(5, ClientId(1)),
+            ReconfigPayload::Value(Value::from("v5")),
+        );
+        let replies = s2.handle(inbound(1, ConfigEpoch(0), ProtoMsg::AbdReadQuery));
+        let ProtoReply::OperationFail { new_config: got } = &replies[0].reply else {
+            panic!("{replies:?}")
+        };
+        assert_eq!(got.epoch, ConfigEpoch(2));
+    }
+
+    #[test]
+    fn reconfig_query_blocks_and_finish_flushes() {
+        let mut s = abd_server_with_key();
+        // Controller announces a reconfiguration.
+        let replies = s.handle(inbound(
+            1,
+            ConfigEpoch(0),
+            ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) },
+        ));
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(replies[0].reply, ProtoReply::AbdTagValue { .. }));
+
+        // A client write arrives while blocked: no reply yet.
+        let deferred_write = inbound(
+            2,
+            ConfigEpoch(0),
+            ProtoMsg::AbdWrite { tag: Tag::new(1, ClientId(3)), value: Value::from("during") },
+        );
+        assert!(s.handle(deferred_write).is_empty());
+        // A client query arrives while blocked: also deferred.
+        assert!(s.handle(inbound(3, ConfigEpoch(0), ProtoMsg::AbdReadQuery)).is_empty());
+
+        // Controller finishes the reconfiguration having read tag (1, c3).
+        let mut new_config = Configuration::abd_majority(dcs(3), 1);
+        new_config.epoch = ConfigEpoch(1);
+        let replies = s.handle(inbound(
+            4,
+            ConfigEpoch(0),
+            ProtoMsg::FinishReconfig {
+                highest_tag: Tag::new(1, ClientId(3)),
+                new_config: Box::new(new_config.clone()),
+            },
+        ));
+        // Three replies: the deferred write (completed, tag <= highest), the deferred query
+        // (failed over to the new configuration) and the ack for the finish message itself.
+        assert_eq!(replies.len(), 3);
+        let write_reply = replies.iter().find(|r| r.msg_id == 2).unwrap();
+        assert_eq!(write_reply.reply, ProtoReply::Ack);
+        let query_reply = replies.iter().find(|r| r.msg_id == 3).unwrap();
+        assert!(matches!(query_reply.reply, ProtoReply::OperationFail { .. }));
+        let finish_ack = replies.iter().find(|r| r.msg_id == 4).unwrap();
+        assert_eq!(finish_ack.reply, ProtoReply::Ack);
+
+        // Afterwards the old epoch is retired: further old-epoch traffic is redirected.
+        let replies = s.handle(inbound(5, ConfigEpoch(0), ProtoMsg::AbdReadQuery));
+        assert!(matches!(replies[0].reply, ProtoReply::OperationFail { .. }));
+    }
+
+    #[test]
+    fn deferred_write_with_higher_tag_is_failed_over() {
+        let mut s = abd_server_with_key();
+        s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) }));
+        s.handle(inbound(
+            2,
+            ConfigEpoch(0),
+            ProtoMsg::AbdWrite { tag: Tag::new(9, ClientId(3)), value: Value::from("late") },
+        ));
+        let mut new_config = Configuration::abd_majority(dcs(3), 1);
+        new_config.epoch = ConfigEpoch(1);
+        let replies = s.handle(inbound(
+            3,
+            ConfigEpoch(0),
+            ProtoMsg::FinishReconfig { highest_tag: Tag::new(2, ClientId(0)), new_config: Box::new(new_config) },
+        ));
+        let write_reply = replies.iter().find(|r| r.msg_id == 2).unwrap();
+        assert!(matches!(write_reply.reply, ProtoReply::OperationFail { .. }));
+    }
+
+    #[test]
+    fn reconfig_write_installs_new_epoch() {
+        let mut s = DcServer::new(DcId(1));
+        let mut config = Configuration::cas_default(dcs(5), 3, 1);
+        config.epoch = ConfigEpoch(4);
+        let replies = s.handle(Inbound {
+            from: 1,
+            msg_id: 10,
+            phase: 0,
+            key: Key::from("moved"),
+            epoch: ConfigEpoch(4),
+            msg: ProtoMsg::ReconfigWrite {
+                tag: Tag::new(8, ClientId(2)),
+                data: ReconfigPayload::Shard(vec![1, 2, 3]),
+                config: Box::new(config.clone()),
+            },
+        });
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].reply, ProtoReply::Ack);
+        assert_eq!(s.latest_epoch(&Key::from("moved")), Some(ConfigEpoch(4)));
+        let state = s.key_state(&Key::from("moved"), ConfigEpoch(4)).unwrap();
+        assert_eq!(state.storage_bytes(), 3);
+        // The new epoch serves CAS queries.
+        let replies = s.handle(Inbound {
+            from: 1,
+            msg_id: 11,
+            phase: 1,
+            key: Key::from("moved"),
+            epoch: ConfigEpoch(4),
+            msg: ProtoMsg::CasQuery,
+        });
+        assert_eq!(replies[0].reply, ProtoReply::TagOnly { tag: Tag::new(8, ClientId(2)) });
+    }
+
+    #[test]
+    fn cas_reconfig_query_reports_highest_fin() {
+        let config = Configuration::cas_default(dcs(5), 3, 1);
+        let mut s = DcServer::new(DcId(0));
+        s.install_key(
+            Key::from("k"),
+            config,
+            Tag::new(6, ClientId(4)),
+            ReconfigPayload::Shard(vec![0u8; 16]),
+        );
+        let replies = s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) }));
+        assert_eq!(replies[0].reply, ProtoReply::TagOnly { tag: Tag::new(6, ClientId(4)) });
+        // ReconfigGet returns the stored shard for that tag.
+        let replies = s.handle(inbound(2, ConfigEpoch(0), ProtoMsg::ReconfigGet { tag: Tag::new(6, ClientId(4)) }));
+        let ProtoReply::CasShard { shard, .. } = &replies[0].reply else { panic!() };
+        assert_eq!(shard.as_ref().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn initial_payloads_shape() {
+        let abd = Configuration::abd_majority(dcs(3), 1);
+        let v = Value::filler(1000);
+        let payloads = DcServer::initial_payloads(&abd, &v);
+        assert_eq!(payloads.len(), 3);
+        assert!(payloads
+            .iter()
+            .all(|(_, p)| matches!(p, ReconfigPayload::Value(val) if val.len() == 1000)));
+
+        let cas = Configuration::cas_default(dcs(5), 3, 1);
+        let payloads = DcServer::initial_payloads(&cas, &v);
+        assert_eq!(payloads.len(), 5);
+        for (_, p) in &payloads {
+            let ReconfigPayload::Shard(s) = p else { panic!() };
+            assert_eq!(s.len(), legostore_erasure::shard_len(1000, 3));
+        }
+    }
+
+    #[test]
+    fn delete_and_gc() {
+        let mut s = abd_server_with_key();
+        assert_eq!(s.key_count(), 1);
+        assert!(s.storage_bytes() > 0);
+        assert_eq!(s.garbage_collect(1), 0); // ABD has nothing to collect
+        assert!(s.remove_key(&Key::from("k")));
+        assert!(!s.remove_key(&Key::from("k")));
+        assert_eq!(s.key_count(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Deterministic discrete-event simulation of a geo-distributed LEGOStore deployment.
+//!
+//! The paper evaluates its prototype on nine real GCP data centers. This crate substitutes
+//! that testbed: it runs the *same* protocol state machines (`legostore-proto`) over a
+//! virtual clock, delivering every message after the measured inter-DC round-trip time plus
+//! the transfer time of its payload, and metering every byte against the paper's network
+//! price tables. Because inter-DC RTTs dominate operation latency (paper §4.3, §G.1), the
+//! simulated latencies reproduce the shape of the prototype's measurements, and the metered
+//! costs follow the same accounting as the optimizer's cost model — which is exactly what
+//! the evaluation figures need.
+//!
+//! The simulator supports the scenarios of the evaluation section: open-loop Poisson
+//! workloads over many keys (Figures 4, 6, 11), mid-run reconfigurations driven by the
+//! controller protocol (Figure 5), data-center failures and recoveries (Figures 5, 11), and
+//! client-side metadata staleness (the "type (ii)" degradations of Figure 5).
+
+pub mod report;
+pub mod simulation;
+
+pub use report::{CostMeter, LatencySummary, OpRecord, SimReport};
+pub use simulation::{SimOptions, Simulation};

@@ -1,0 +1,230 @@
+//! Simulation outputs: per-operation records, latency summaries and cost metering.
+
+use legostore_types::{DcId, OpKind};
+
+/// One completed (or abandoned) client operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRecord {
+    /// Data center the issuing user resides in.
+    pub origin: DcId,
+    /// GET or PUT.
+    pub kind: OpKind,
+    /// Key index within the experiment (opaque).
+    pub key: String,
+    /// Virtual time the user issued the operation (ms).
+    pub start_ms: f64,
+    /// Virtual time the operation completed (ms).
+    pub end_ms: f64,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// True if a GET completed in one phase (optimized GET).
+    pub one_phase: bool,
+    /// Number of times the operation was restarted because of a reconfiguration.
+    pub reconfig_retries: u32,
+    /// Number of times the operation was restarted after a timeout (e.g. a failed DC).
+    pub timeout_retries: u32,
+}
+
+impl OpRecord {
+    /// End-to-end latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// Aggregate latency statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of operations aggregated.
+    pub count: usize,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Maximum latency (ms).
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from raw latencies.
+    pub fn from_latencies(mut lat: Vec<f64>) -> LatencySummary {
+        if lat.is_empty() {
+            return LatencySummary::default();
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let count = lat.len();
+        let mean = lat.iter().sum::<f64>() / count as f64;
+        let pick = |q: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * q).round() as usize;
+            lat[idx.min(count - 1)]
+        };
+        LatencySummary {
+            count,
+            mean_ms: mean,
+            p50_ms: pick(0.50),
+            p99_ms: pick(0.99),
+            max_ms: lat[count - 1],
+        }
+    }
+}
+
+/// Network-cost meter, in dollars, attributed per traffic class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostMeter {
+    /// Dollars spent on GET traffic.
+    pub get_network: f64,
+    /// Dollars spent on PUT traffic.
+    pub put_network: f64,
+    /// Dollars spent on reconfiguration traffic.
+    pub reconfig_network: f64,
+    /// Bytes moved in total.
+    pub bytes_moved: u64,
+}
+
+impl CostMeter {
+    /// Total dollars spent on the network.
+    pub fn total(&self) -> f64 {
+        self.get_network + self.put_network + self.reconfig_network
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// All completed operations.
+    pub operations: Vec<OpRecord>,
+    /// Network-cost meter.
+    pub cost: CostMeter,
+    /// Virtual time at which the simulation stopped (ms).
+    pub end_time_ms: f64,
+    /// Durations (ms) of each completed reconfiguration, in completion order.
+    pub reconfig_durations_ms: Vec<f64>,
+}
+
+impl SimReport {
+    /// Latency summary over operations matching the filters (`None` matches everything).
+    pub fn latency(
+        &self,
+        kind: Option<OpKind>,
+        origin: Option<DcId>,
+        from_ms: Option<f64>,
+        to_ms: Option<f64>,
+    ) -> LatencySummary {
+        let lats: Vec<f64> = self
+            .operations
+            .iter()
+            .filter(|o| o.ok)
+            .filter(|o| kind.map(|k| o.kind == k).unwrap_or(true))
+            .filter(|o| origin.map(|d| o.origin == d).unwrap_or(true))
+            .filter(|o| from_ms.map(|t| o.start_ms >= t).unwrap_or(true))
+            .filter(|o| to_ms.map(|t| o.start_ms < t).unwrap_or(true))
+            .map(|o| o.latency_ms())
+            .collect();
+        LatencySummary::from_latencies(lats)
+    }
+
+    /// Fraction of successful GETs that completed in one phase.
+    pub fn optimized_get_fraction(&self) -> f64 {
+        let gets: Vec<&OpRecord> = self
+            .operations
+            .iter()
+            .filter(|o| o.ok && o.kind == OpKind::Get)
+            .collect();
+        if gets.is_empty() {
+            return 0.0;
+        }
+        gets.iter().filter(|o| o.one_phase).count() as f64 / gets.len() as f64
+    }
+
+    /// Number of operations that violated `slo_ms`, optionally restricted to one kind.
+    pub fn slo_violations(&self, slo_ms: f64, kind: Option<OpKind>) -> usize {
+        self.operations
+            .iter()
+            .filter(|o| o.ok)
+            .filter(|o| kind.map(|k| o.kind == k).unwrap_or(true))
+            .filter(|o| o.latency_ms() > slo_ms)
+            .count()
+    }
+
+    /// Number of failed operations.
+    pub fn failures(&self) -> usize {
+        self.operations.iter().filter(|o| !o.ok).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: OpKind, start: f64, end: f64, origin: u16) -> OpRecord {
+        OpRecord {
+            origin: DcId(origin),
+            kind,
+            key: "k".into(),
+            start_ms: start,
+            end_ms: end,
+            ok: true,
+            one_phase: false,
+            reconfig_retries: 0,
+            timeout_retries: 0,
+        }
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_latencies(lat);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50_ms, 51.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert_eq!(LatencySummary::from_latencies(vec![]).count, 0);
+    }
+
+    #[test]
+    fn report_filters_by_kind_origin_and_time() {
+        let mut report = SimReport::default();
+        report.operations.push(rec(OpKind::Get, 0.0, 100.0, 0));
+        report.operations.push(rec(OpKind::Put, 0.0, 300.0, 0));
+        report.operations.push(rec(OpKind::Get, 500.0, 550.0, 1));
+        let all = report.latency(None, None, None, None);
+        assert_eq!(all.count, 3);
+        let gets = report.latency(Some(OpKind::Get), None, None, None);
+        assert_eq!(gets.count, 2);
+        let dc1 = report.latency(None, Some(DcId(1)), None, None);
+        assert_eq!(dc1.count, 1);
+        assert_eq!(dc1.mean_ms, 50.0);
+        let early = report.latency(None, None, Some(0.0), Some(400.0));
+        assert_eq!(early.count, 2);
+        assert_eq!(report.slo_violations(200.0, None), 1);
+        assert_eq!(report.slo_violations(200.0, Some(OpKind::Get)), 0);
+    }
+
+    #[test]
+    fn optimized_fraction_and_failures() {
+        let mut report = SimReport::default();
+        let mut a = rec(OpKind::Get, 0.0, 10.0, 0);
+        a.one_phase = true;
+        report.operations.push(a);
+        report.operations.push(rec(OpKind::Get, 0.0, 10.0, 0));
+        let mut failed = rec(OpKind::Put, 0.0, 10.0, 0);
+        failed.ok = false;
+        report.operations.push(failed);
+        assert!((report.optimized_get_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(report.failures(), 1);
+    }
+
+    #[test]
+    fn cost_meter_totals() {
+        let m = CostMeter {
+            get_network: 1.0,
+            put_network: 2.0,
+            reconfig_network: 0.5,
+            bytes_moved: 100,
+        };
+        assert!((m.total() - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,871 @@
+//! The discrete-event simulation engine.
+
+use crate::report::{CostMeter, OpRecord, SimReport};
+use legostore_cloud::CloudModel;
+use legostore_proto::msg::{OpOutcome, OpProgress, Outbound, ProtoReply};
+use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
+use legostore_proto::server::{DcServer, Inbound};
+use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
+use legostore_types::{
+    ClientId, Configuration, DcId, Key, OpKind, ProtocolKind, Tag, Value,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Tunables of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Metadata bytes per protocol message (`o_m`).
+    pub metadata_bytes: u64,
+    /// Whether ABD GETs use the optimized one-phase fast path.
+    pub optimized_get: bool,
+    /// Whether CAS GETs use the client-side cache fast path.
+    pub cas_get_cache: bool,
+    /// Per-attempt operation timeout (virtual ms) before the client widens its quorum to the
+    /// full placement and retries.
+    pub op_timeout_ms: f64,
+    /// Maximum number of timeout-driven retries before an operation is reported failed.
+    pub max_timeout_retries: u32,
+    /// Data center hosting the reconfiguration controller and the authoritative metadata
+    /// (the paper places it in Los Angeles).
+    pub controller_dc: DcId,
+    /// Hard stop for the virtual clock (ms); events beyond it are not processed.
+    pub max_time_ms: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            metadata_bytes: legostore_cloud::METADATA_BYTES,
+            optimized_get: true,
+            cas_get_cache: true,
+            op_timeout_ms: 1500.0,
+            max_timeout_retries: 2,
+            controller_dc: DcId(7), // Los Angeles in the gcp9 model
+            max_time_ms: f64::INFINITY,
+        }
+    }
+}
+
+/// Traffic class used for cost attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrafficClass {
+    Get,
+    Put,
+    Reconfig,
+}
+
+/// Client-side operation state machine (one of the four protocol operations).
+#[derive(Debug, Clone)]
+enum ClientOp {
+    AbdPut(AbdPut),
+    AbdGet(AbdGet),
+    CasPut(CasPut),
+    CasGet(CasGet),
+}
+
+impl ClientOp {
+    fn start(&self) -> Vec<Outbound> {
+        match self {
+            ClientOp::AbdPut(o) => o.start(),
+            ClientOp::AbdGet(o) => o.start(),
+            ClientOp::CasPut(o) => o.start(),
+            ClientOp::CasGet(o) => o.start(),
+        }
+    }
+
+    fn on_reply(&mut self, from: DcId, phase: u8, reply: ProtoReply) -> OpProgress {
+        match self {
+            ClientOp::AbdPut(o) => o.on_reply(from, phase, reply),
+            ClientOp::AbdGet(o) => o.on_reply(from, phase, reply),
+            ClientOp::CasPut(o) => o.on_reply(from, phase, reply),
+            ClientOp::CasGet(o) => o.on_reply(from, phase, reply),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingOp {
+    op: ClientOp,
+    origin: DcId,
+    kind: OpKind,
+    key: Key,
+    start_ms: f64,
+    value: Option<Value>,
+    config: Configuration,
+    reconfig_retries: u32,
+    timeout_retries: u32,
+    attempt: u32,
+    /// True while a retry has been scheduled but not yet started; replies and timeouts from
+    /// the abandoned attempt are ignored in the meantime.
+    awaiting_retry: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingReconfig {
+    controller: ReconfigController,
+    key: Key,
+    start_ms: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    StartRequest {
+        origin: DcId,
+        kind: OpKind,
+        key: Key,
+        value_size: u64,
+    },
+    DeliverToServer {
+        to: DcId,
+        inbound: Inbound,
+    },
+    DeliverReply {
+        token: u64,
+        from: DcId,
+        phase: u8,
+        reply: ProtoReply,
+    },
+    OpTimeout {
+        token: u64,
+        attempt: u32,
+    },
+    StartReconfig {
+        key: Key,
+        new_config: Configuration,
+    },
+    RetryOp {
+        token: u64,
+    },
+    SetDcFailed {
+        dc: DcId,
+        failed: bool,
+    },
+}
+
+/// The simulator.
+pub struct Simulation {
+    model: CloudModel,
+    options: SimOptions,
+    now_us: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    event_payloads: HashMap<usize, Event>,
+    next_event_id: usize,
+    servers: HashMap<DcId, DcServer>,
+    ops: HashMap<u64, PendingOp>,
+    reconfigs: HashMap<u64, PendingReconfig>,
+    next_token: u64,
+    next_client_id: u32,
+    metadata: HashMap<Key, Configuration>,
+    client_views: HashMap<(DcId, Key), Configuration>,
+    get_cache: HashMap<(DcId, Key), (Tag, Value)>,
+    records: Vec<OpRecord>,
+    cost: CostMeter,
+    reconfig_durations: Vec<f64>,
+}
+
+impl Simulation {
+    /// Creates a simulator over `model` with default options.
+    pub fn new(model: CloudModel) -> Self {
+        Self::with_options(model, SimOptions::default())
+    }
+
+    /// Creates a simulator with explicit options.
+    pub fn with_options(model: CloudModel, options: SimOptions) -> Self {
+        let servers = model
+            .dc_ids()
+            .into_iter()
+            .map(|d| (d, DcServer::new(d)))
+            .collect();
+        Simulation {
+            model,
+            options,
+            now_us: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            event_payloads: HashMap::new(),
+            next_event_id: 0,
+            servers,
+            ops: HashMap::new(),
+            reconfigs: HashMap::new(),
+            next_token: 1,
+            next_client_id: 1,
+            metadata: HashMap::new(),
+            client_views: HashMap::new(),
+            get_cache: HashMap::new(),
+            records: Vec::new(),
+            cost: CostMeter::default(),
+            reconfig_durations: Vec::new(),
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.now_us as f64 / 1000.0
+    }
+
+    /// Installs `key` with `config` and `initial_value` at its hosting servers and registers
+    /// it in the metadata service (the CREATE operation, performed before the run starts).
+    pub fn create_key(&mut self, key: impl Into<Key>, config: Configuration, initial_value: &Value) {
+        let key = key.into();
+        for (dc, payload) in DcServer::initial_payloads(&config, initial_value) {
+            self.servers
+                .get_mut(&dc)
+                .expect("dc exists")
+                .install_key(key.clone(), config.clone(), Tag::INITIAL, payload);
+        }
+        self.metadata.insert(key, config);
+    }
+
+    /// Schedules a single client request at virtual time `at_ms`.
+    pub fn schedule_request(
+        &mut self,
+        at_ms: f64,
+        origin: DcId,
+        kind: OpKind,
+        key: impl Into<Key>,
+        value_size: u64,
+    ) {
+        self.push_event(
+            at_ms,
+            Event::StartRequest {
+                origin,
+                kind,
+                key: key.into(),
+                value_size,
+            },
+        );
+    }
+
+    /// Schedules every request of a workload trace; `key_of` maps the trace's key index to a
+    /// key name.
+    pub fn schedule_trace<F: Fn(usize) -> String>(
+        &mut self,
+        trace: &[legostore_workload::Request],
+        offset_ms: f64,
+        key_of: F,
+    ) {
+        for r in trace {
+            self.schedule_request(
+                offset_ms + r.time_ms,
+                r.origin,
+                r.kind,
+                key_of(r.key_index),
+                r.object_size,
+            );
+        }
+    }
+
+    /// Schedules a reconfiguration of `key` to `new_config` at `at_ms` (the controller reads
+    /// the old configuration from the metadata service when the event fires).
+    pub fn schedule_reconfig(&mut self, at_ms: f64, key: impl Into<Key>, new_config: Configuration) {
+        self.push_event(
+            at_ms,
+            Event::StartReconfig {
+                key: key.into(),
+                new_config,
+            },
+        );
+    }
+
+    /// Schedules a whole-DC failure at `at_ms`.
+    pub fn schedule_failure(&mut self, at_ms: f64, dc: DcId) {
+        self.push_event(at_ms, Event::SetDcFailed { dc, failed: true });
+    }
+
+    /// Schedules a DC recovery at `at_ms`.
+    pub fn schedule_recovery(&mut self, at_ms: f64, dc: DcId) {
+        self.push_event(at_ms, Event::SetDcFailed { dc, failed: false });
+    }
+
+    /// Runs the simulation to completion (or to `max_time_ms`) and returns the report.
+    pub fn run(mut self) -> SimReport {
+        while let Some(Reverse((t_us, _, id))) = self.events.pop() {
+            if t_us as f64 / 1000.0 > self.options.max_time_ms {
+                break;
+            }
+            self.now_us = t_us;
+            let event = self.event_payloads.remove(&id).expect("payload exists");
+            self.handle_event(event);
+        }
+        SimReport {
+            operations: self.records,
+            cost: self.cost,
+            end_time_ms: self.now_us as f64 / 1000.0,
+            reconfig_durations_ms: self.reconfig_durations,
+        }
+    }
+
+    // ---- internals ----
+
+    fn push_event(&mut self, at_ms: f64, event: Event) {
+        let at_us = (at_ms.max(0.0) * 1000.0).round() as u64;
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        self.seq += 1;
+        self.event_payloads.insert(id, event);
+        self.events.push(Reverse((at_us, self.seq, id)));
+    }
+
+    fn class_of(&self, token: u64) -> TrafficClass {
+        if self.reconfigs.contains_key(&token) {
+            TrafficClass::Reconfig
+        } else if let Some(op) = self.ops.get(&token) {
+            match op.kind {
+                OpKind::Get => TrafficClass::Get,
+                OpKind::Put => TrafficClass::Put,
+            }
+        } else {
+            TrafficClass::Reconfig
+        }
+    }
+
+    fn meter(&mut self, from: DcId, to: DcId, bytes: u64, class: TrafficClass) {
+        let dollars = self.model.transfer_cost(from, to, bytes);
+        self.cost.bytes_moved += bytes;
+        match class {
+            TrafficClass::Get => self.cost.get_network += dollars,
+            TrafficClass::Put => self.cost.put_network += dollars,
+            TrafficClass::Reconfig => self.cost.reconfig_network += dollars,
+        }
+    }
+
+    /// Sends protocol messages from `origin` on behalf of endpoint `token`.
+    fn send_outbound(&mut self, token: u64, origin: DcId, msgs: Vec<Outbound>) {
+        let class = self.class_of(token);
+        for out in msgs {
+            let bytes = out.msg.wire_size(self.options.metadata_bytes);
+            self.meter(origin, out.to, bytes, class);
+            let delay_ms = self.model.latency_ms(origin, out.to)
+                + self.model.transfer_time_ms(origin, out.to, bytes);
+            let inbound = Inbound {
+                from: token,
+                msg_id: self.seq,
+                phase: out.phase,
+                key: out.key,
+                epoch: out.epoch,
+                msg: out.msg,
+            };
+            self.push_event(
+                self.now_ms() + delay_ms,
+                Event::DeliverToServer { to: out.to, inbound },
+            );
+        }
+    }
+
+    fn endpoint_dc(&self, token: u64) -> DcId {
+        if let Some(op) = self.ops.get(&token) {
+            op.origin
+        } else {
+            self.options.controller_dc
+        }
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::StartRequest {
+                origin,
+                kind,
+                key,
+                value_size,
+            } => self.start_request(origin, kind, key, value_size),
+            Event::DeliverToServer { to, inbound } => {
+                let Some(server) = self.servers.get_mut(&to) else { return };
+                let replies = server.handle(inbound);
+                for reply in replies {
+                    let dest_dc = self.endpoint_dc(reply.to);
+                    let bytes = reply.reply.wire_size(self.options.metadata_bytes);
+                    let class = self.class_of(reply.to);
+                    self.meter(to, dest_dc, bytes, class);
+                    let delay_ms = self.model.latency_ms(to, dest_dc)
+                        + self.model.transfer_time_ms(to, dest_dc, bytes);
+                    self.push_event(
+                        self.now_ms() + delay_ms,
+                        Event::DeliverReply {
+                            token: reply.to,
+                            from: to,
+                            phase: reply.phase,
+                            reply: reply.reply,
+                        },
+                    );
+                }
+            }
+            Event::DeliverReply {
+                token,
+                from,
+                phase,
+                reply,
+            } => {
+                if self.ops.contains_key(&token) {
+                    self.op_reply(token, from, phase, reply);
+                } else if self.reconfigs.contains_key(&token) {
+                    self.reconfig_reply(token, from, phase, reply);
+                }
+            }
+            Event::OpTimeout { token, attempt } => self.op_timeout(token, attempt),
+            Event::StartReconfig { key, new_config } => self.start_reconfig(key, new_config),
+            Event::RetryOp { token } => self.retry_op(token),
+            Event::SetDcFailed { dc, failed } => {
+                if let Some(s) = self.servers.get_mut(&dc) {
+                    s.set_failed(failed);
+                }
+            }
+        }
+    }
+
+    fn config_for_client(&mut self, origin: DcId, key: &Key) -> Option<Configuration> {
+        if let Some(c) = self.client_views.get(&(origin, key.clone())) {
+            return Some(c.clone());
+        }
+        let c = self.metadata.get(key)?.clone();
+        self.client_views.insert((origin, key.clone()), c.clone());
+        Some(c)
+    }
+
+    fn build_op(
+        &mut self,
+        origin: DcId,
+        kind: OpKind,
+        key: &Key,
+        config: &Configuration,
+        value: Option<&Value>,
+    ) -> ClientOp {
+        let client_id = ClientId(self.next_client_id);
+        self.next_client_id += 1;
+        match (config.protocol, kind) {
+            (ProtocolKind::Abd, OpKind::Put) => ClientOp::AbdPut(AbdPut::new(
+                key.clone(),
+                config.clone(),
+                origin,
+                client_id,
+                value.cloned().unwrap_or_else(Value::empty),
+            )),
+            (ProtocolKind::Abd, OpKind::Get) => ClientOp::AbdGet(AbdGet::new(
+                key.clone(),
+                config.clone(),
+                origin,
+                self.options.optimized_get,
+            )),
+            (ProtocolKind::Cas, OpKind::Put) => ClientOp::CasPut(CasPut::new(
+                key.clone(),
+                config.clone(),
+                origin,
+                client_id,
+                value.cloned().unwrap_or_else(Value::empty),
+            )),
+            (ProtocolKind::Cas, OpKind::Get) => {
+                let cache = if self.options.cas_get_cache {
+                    self.get_cache.get(&(origin, key.clone())).cloned()
+                } else {
+                    None
+                };
+                ClientOp::CasGet(CasGet::new(key.clone(), config.clone(), origin, cache))
+            }
+        }
+    }
+
+    fn start_request(&mut self, origin: DcId, kind: OpKind, key: Key, value_size: u64) {
+        let Some(config) = self.config_for_client(origin, &key) else {
+            // Key unknown anywhere: record an immediate failure.
+            self.records.push(OpRecord {
+                origin,
+                kind,
+                key: key.0,
+                start_ms: self.now_ms(),
+                end_ms: self.now_ms(),
+                ok: false,
+                one_phase: false,
+                reconfig_retries: 0,
+                timeout_retries: 0,
+            });
+            return;
+        };
+        let value = match kind {
+            OpKind::Put => Some(Value::filler(value_size as usize)),
+            OpKind::Get => None,
+        };
+        let op = self.build_op(origin, kind, &key, &config, value.as_ref());
+        let token = self.next_token;
+        self.next_token += 1;
+        let pending = PendingOp {
+            op,
+            origin,
+            kind,
+            key,
+            start_ms: self.now_ms(),
+            value,
+            config,
+            reconfig_retries: 0,
+            timeout_retries: 0,
+            attempt: 0,
+            awaiting_retry: false,
+        };
+        let msgs = pending.op.start();
+        self.ops.insert(token, pending);
+        self.send_outbound(token, origin, msgs);
+        self.push_event(
+            self.now_ms() + self.options.op_timeout_ms,
+            Event::OpTimeout { token, attempt: 0 },
+        );
+    }
+
+    fn finish_op(&mut self, token: u64, ok: bool, one_phase: bool) {
+        let Some(op) = self.ops.remove(&token) else { return };
+        self.records.push(OpRecord {
+            origin: op.origin,
+            kind: op.kind,
+            key: op.key.0.clone(),
+            start_ms: op.start_ms,
+            end_ms: self.now_ms(),
+            ok,
+            one_phase,
+            reconfig_retries: op.reconfig_retries,
+            timeout_retries: op.timeout_retries,
+        });
+    }
+
+    fn op_reply(&mut self, token: u64, from: DcId, phase: u8, reply: ProtoReply) {
+        let Some(op) = self.ops.get_mut(&token) else { return };
+        if op.awaiting_retry {
+            return;
+        }
+        let origin = op.origin;
+        let progress = op.op.on_reply(from, phase, reply);
+        match progress {
+            OpProgress::Pending => {}
+            OpProgress::Send(msgs) => self.send_outbound(token, origin, msgs),
+            OpProgress::Done(outcome) => match outcome {
+                OpOutcome::PutOk { tag } => {
+                    let (key, value) = {
+                        let op = self.ops.get(&token).expect("still present");
+                        (op.key.clone(), op.value.clone())
+                    };
+                    if let Some(v) = value {
+                        self.get_cache.insert((origin, key), (tag, v));
+                    }
+                    self.finish_op(token, true, false);
+                }
+                OpOutcome::GetOk {
+                    tag,
+                    value,
+                    one_phase,
+                } => {
+                    let key = self.ops.get(&token).expect("present").key.clone();
+                    self.get_cache.insert((origin, key), (tag, value));
+                    self.finish_op(token, true, one_phase);
+                }
+                OpOutcome::Reconfigured { new_config } => {
+                    // The client must learn the new configuration (modeled as one RTT to the
+                    // controller's metadata service) and then restart the operation.
+                    let delay =
+                        self.model.rtt_ms(origin, self.options.controller_dc).max(1.0);
+                    if let Some(op) = self.ops.get_mut(&token) {
+                        op.reconfig_retries += 1;
+                        op.awaiting_retry = true;
+                        op.config = (*new_config).clone();
+                        self.client_views
+                            .insert((origin, op.key.clone()), (*new_config).clone());
+                    }
+                    self.push_event(self.now_ms() + delay, Event::RetryOp { token });
+                }
+                OpOutcome::Failed(err) => {
+                    if err.is_retryable() {
+                        let op_exists = self.ops.get_mut(&token).map(|op| {
+                            op.reconfig_retries += 1;
+                            op.awaiting_retry = true;
+                        });
+                        if op_exists.is_some() {
+                            self.push_event(self.now_ms() + 10.0, Event::RetryOp { token });
+                        }
+                    } else {
+                        self.finish_op(token, false, false);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Restarts a pending operation against its (possibly refreshed) configuration.
+    fn retry_op(&mut self, token: u64) {
+        let Some(op) = self.ops.get(&token) else { return };
+        if op.reconfig_retries + op.timeout_retries > 8 {
+            self.finish_op(token, false, false);
+            return;
+        }
+        let (origin, kind, key, config, value) = (
+            op.origin,
+            op.kind,
+            op.key.clone(),
+            op.config.clone(),
+            op.value.clone(),
+        );
+        let new_op = self.build_op(origin, kind, &key, &config, value.as_ref());
+        let msgs = new_op.start();
+        if let Some(op) = self.ops.get_mut(&token) {
+            op.op = new_op;
+            op.attempt += 1;
+            op.awaiting_retry = false;
+        }
+        let attempt = self.ops.get(&token).map(|o| o.attempt).unwrap_or(0);
+        self.send_outbound(token, origin, msgs);
+        self.push_event(
+            self.now_ms() + self.options.op_timeout_ms,
+            Event::OpTimeout { token, attempt },
+        );
+    }
+
+    fn op_timeout(&mut self, token: u64, attempt: u32) {
+        let Some(op) = self.ops.get_mut(&token) else { return };
+        if op.attempt != attempt || op.awaiting_retry {
+            return; // a newer attempt is in flight or a retry is already scheduled
+        }
+        if op.timeout_retries >= self.options.max_timeout_retries {
+            self.finish_op(token, false, false);
+            return;
+        }
+        op.timeout_retries += 1;
+        // Widen the quorum targets to the full placement (the paper's failure handling:
+        // "send the request to all other DCs participating in the configuration").
+        let mut wide = op.config.clone();
+        let all = wide.dcs.clone();
+        wide.preferred_quorums
+            .insert(op.origin, vec![all.clone(), all.clone(), all.clone(), all]);
+        op.config = wide;
+        self.retry_op(token);
+    }
+
+    fn start_reconfig(&mut self, key: Key, new_config: Configuration) {
+        let Some(old) = self.metadata.get(&key).cloned() else { return };
+        let controller = ReconfigController::new(key.clone(), old, new_config);
+        let msgs = controller.start();
+        let token = self.next_token;
+        self.next_token += 1;
+        self.reconfigs.insert(
+            token,
+            PendingReconfig {
+                controller,
+                key,
+                start_ms: self.now_ms(),
+            },
+        );
+        self.send_outbound(token, self.options.controller_dc, msgs);
+    }
+
+    fn reconfig_reply(&mut self, token: u64, from: DcId, phase: u8, reply: ProtoReply) {
+        let Some(rc) = self.reconfigs.get_mut(&token) else { return };
+        match rc.controller.on_reply(from, phase, reply) {
+            ControllerProgress::Pending => {}
+            ControllerProgress::Send(msgs) => {
+                self.send_outbound(token, self.options.controller_dc, msgs)
+            }
+            ControllerProgress::Done(outcome) => {
+                let rc = self.reconfigs.get(&token).expect("present");
+                let start_ms = rc.start_ms;
+                let key = rc.key.clone();
+                // Metadata update happens at the controller; then the finish messages go out.
+                self.metadata.insert(key, outcome.new_config.clone());
+                self.reconfig_durations.push(self.now_ms() - start_ms);
+                let finish = outcome.finish_messages.clone();
+                self.send_outbound(token, self.options.controller_dc, finish);
+                self.reconfigs.remove(&token);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_cloud::{CloudModel, GcpLocation};
+    use legostore_types::ConfigEpoch;
+
+    fn gcp() -> CloudModel {
+        CloudModel::gcp9()
+    }
+
+    fn abd3_config() -> Configuration {
+        Configuration::abd_majority(
+            vec![
+                GcpLocation::Tokyo.dc(),
+                GcpLocation::LosAngeles.dc(),
+                GcpLocation::Oregon.dc(),
+            ],
+            1,
+        )
+    }
+
+    fn cas53_config() -> Configuration {
+        Configuration::cas_default(
+            vec![
+                GcpLocation::Singapore.dc(),
+                GcpLocation::Frankfurt.dc(),
+                GcpLocation::Virginia.dc(),
+                GcpLocation::LosAngeles.dc(),
+                GcpLocation::Oregon.dc(),
+            ],
+            3,
+            1,
+        )
+    }
+
+    #[test]
+    fn single_put_and_get_latencies_match_rtt_expectations() {
+        let mut sim = Simulation::new(gcp());
+        sim.create_key("k", abd3_config(), &Value::filler(1024));
+        let tokyo = GcpLocation::Tokyo.dc();
+        sim.schedule_request(0.0, tokyo, OpKind::Put, "k", 1024);
+        sim.schedule_request(1000.0, tokyo, OpKind::Get, "k", 1024);
+        let report = sim.run();
+        assert_eq!(report.operations.len(), 2);
+        assert!(report.operations.iter().all(|o| o.ok));
+        let put = &report.operations[0];
+        // ABD PUT = 2 phases; each phase waits for the majority quorum {Tokyo, LA}: ~100 ms
+        // RTT each -> ~200 ms total (plus negligible transfer time).
+        assert!(put.latency_ms() > 150.0 && put.latency_ms() < 300.0, "{}", put.latency_ms());
+        let get = &report.operations[1];
+        // Optimized GET completes in one phase after the PUT stabilized the value.
+        assert!(get.one_phase);
+        assert!(get.latency_ms() < 150.0, "{}", get.latency_ms());
+        assert!(report.cost.total() > 0.0);
+        assert!(report.cost.put_network > report.cost.get_network);
+    }
+
+    #[test]
+    fn cas_workload_runs_and_meters_cost() {
+        let mut sim = Simulation::new(gcp());
+        sim.create_key("k", cas53_config(), &Value::filler(4096));
+        let tokyo = GcpLocation::Tokyo.dc();
+        for i in 0..20 {
+            let kind = if i % 2 == 0 { OpKind::Put } else { OpKind::Get };
+            sim.schedule_request(i as f64 * 200.0, tokyo, kind, "k", 4096);
+        }
+        let report = sim.run();
+        assert_eq!(report.operations.len(), 20);
+        assert_eq!(report.failures(), 0);
+        // 3-phase CAS PUTs are slower than 2-phase GETs on average.
+        let puts = report.latency(Some(OpKind::Put), None, None, None);
+        let gets = report.latency(Some(OpKind::Get), None, None, None);
+        assert!(puts.mean_ms > gets.mean_ms);
+        assert!(report.cost.bytes_moved > 0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let build = || {
+            let mut sim = Simulation::new(gcp());
+            sim.create_key("k", cas53_config(), &Value::filler(1024));
+            for i in 0..10 {
+                sim.schedule_request(
+                    i as f64 * 50.0,
+                    GcpLocation::Sydney.dc(),
+                    if i % 3 == 0 { OpKind::Put } else { OpKind::Get },
+                    "k",
+                    1024,
+                );
+            }
+            sim.run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.operations.len(), b.operations.len());
+        for (x, y) in a.operations.iter().zip(b.operations.iter()) {
+            assert_eq!(x.latency_ms(), y.latency_ms());
+        }
+        assert_eq!(a.cost.total(), b.cost.total());
+    }
+
+    #[test]
+    fn reconfiguration_completes_quickly_and_redirects_clients() {
+        let mut sim = Simulation::new(gcp());
+        sim.create_key("k", cas53_config(), &Value::filler(1024));
+        let sydney = GcpLocation::Sydney.dc();
+        // Steady trickle of requests before, during and after the reconfiguration.
+        for i in 0..40 {
+            let kind = if i % 2 == 0 { OpKind::Get } else { OpKind::Put };
+            sim.schedule_request(i as f64 * 100.0, sydney, kind, "k", 1024);
+        }
+        // At t=2s, switch to ABD(3) on Tokyo/Sydney/Singapore.
+        let new_config = Configuration::abd_majority(
+            vec![
+                GcpLocation::Tokyo.dc(),
+                GcpLocation::Sydney.dc(),
+                GcpLocation::Singapore.dc(),
+            ],
+            1,
+        );
+        sim.schedule_reconfig(2000.0, "k", new_config);
+        let report = sim.run();
+        assert_eq!(report.reconfig_durations_ms.len(), 1);
+        // The controller completes within ~4 inter-DC RTTs (< 1.5 s for these distances).
+        assert!(
+            report.reconfig_durations_ms[0] < 1500.0,
+            "reconfig took {} ms",
+            report.reconfig_durations_ms[0]
+        );
+        // All operations eventually succeed, and at least one was failed over to the new
+        // configuration (client-visible reconfig retry).
+        assert_eq!(report.failures(), 0);
+        assert!(report.operations.iter().any(|o| o.reconfig_retries > 0));
+        assert!(report.cost.reconfig_network > 0.0);
+        // Operations issued well after the reconfiguration hit the new ABD config directly.
+        let late = report.latency(None, None, Some(3500.0), None);
+        assert!(late.count > 0);
+    }
+
+    #[test]
+    fn dc_failure_triggers_timeouts_but_operations_survive() {
+        let mut sim = Simulation::with_options(
+            gcp(),
+            SimOptions {
+                op_timeout_ms: 800.0,
+                ..Default::default()
+            },
+        );
+        let config = cas53_config();
+        sim.create_key("k", config.clone(), &Value::filler(1024));
+        // Fail Los Angeles (a quorum member) before the requests arrive.
+        sim.schedule_failure(0.0, GcpLocation::LosAngeles.dc());
+        let virginia = GcpLocation::Virginia.dc();
+        for i in 0..10 {
+            sim.schedule_request(10.0 + i as f64 * 100.0, virginia, OpKind::Get, "k", 1024);
+        }
+        let report = sim.run();
+        assert_eq!(report.operations.len(), 10);
+        // With f=1 tolerance the operations must still succeed, via timeout + widened quorum.
+        assert_eq!(report.failures(), 0, "{:?}", report.operations);
+        let with_retry = report.operations.iter().filter(|o| o.timeout_retries > 0).count();
+        assert!(with_retry > 0, "the failed DC must have forced retries");
+        // And their latency is inflated by at least the timeout.
+        let slow = report.latency(None, None, None, None);
+        assert!(slow.max_ms >= 800.0);
+    }
+
+    #[test]
+    fn unknown_key_fails_immediately() {
+        let mut sim = Simulation::new(gcp());
+        sim.schedule_request(0.0, GcpLocation::Tokyo.dc(), OpKind::Get, "missing", 100);
+        let report = sim.run();
+        assert_eq!(report.operations.len(), 1);
+        assert!(!report.operations[0].ok);
+    }
+
+    #[test]
+    fn trace_scheduling_and_epoch_bumps() {
+        let model = gcp();
+        let mut spec = legostore_workload::WorkloadSpec::example();
+        spec.arrival_rate = 20.0;
+        spec.client_distribution = vec![(GcpLocation::Tokyo.dc(), 1.0)];
+        let mut gen = legostore_workload::TraceGenerator::new(spec, 2, 99);
+        let trace = gen.generate(2_000.0);
+        let mut sim = Simulation::new(model);
+        sim.create_key("key-0", abd3_config(), &Value::filler(512));
+        sim.create_key("key-1", abd3_config(), &Value::filler(512));
+        sim.schedule_trace(&trace, 0.0, |i| format!("key-{i}"));
+        let report = sim.run();
+        assert_eq!(report.operations.len(), trace.len());
+        assert_eq!(report.failures(), 0);
+        // Epoch of the created keys stays at the initial value (no reconfig scheduled).
+        assert_eq!(abd3_config().epoch, ConfigEpoch::INITIAL);
+    }
+}

@@ -1,0 +1,113 @@
+//! Errors surfaced by the LEGOStore public API.
+
+use crate::{ConfigEpoch, DcId, Key};
+use serde::{Deserialize, Serialize};
+
+/// Result alias used across the store crates.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors returned by store operations (CREATE / GET / PUT / DELETE), the protocols and the
+/// reconfiguration machinery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreError {
+    /// CREATE on a key that already exists.
+    KeyAlreadyExists(Key),
+    /// GET / PUT / DELETE on a key that does not exist.
+    KeyNotFound(Key),
+    /// The operation could not gather a quorum of responses before its deadline; the number
+    /// of responses received is attached.
+    QuorumTimeout { needed: usize, received: usize },
+    /// More than `f` hosting data centers are unavailable; the operation cannot terminate.
+    TooManyFailures { failed: usize, tolerated: usize },
+    /// The contacted server is running a newer configuration epoch; the client must refresh
+    /// its metadata and retry.
+    StaleConfiguration { observed: ConfigEpoch, current: ConfigEpoch },
+    /// The operation was aborted by a concurrent reconfiguration and must be retried against
+    /// the new configuration.
+    OperationFailedByReconfig { new_epoch: ConfigEpoch },
+    /// The configuration being installed is invalid.
+    InvalidConfiguration(String),
+    /// Erasure decoding failed (not enough codeword symbols for the target tag).
+    DecodeFailed { have: usize, need: usize },
+    /// A message was addressed to a data center that does not host the key.
+    NotAHost { dc: DcId, key: Key },
+    /// The local metadata service has no record of the key's configuration and remote
+    /// lookups also failed.
+    MetadataUnavailable(Key),
+    /// Transport-level failure (channel closed, node shut down).
+    Transport(String),
+    /// An internal invariant was violated; indicates a bug.
+    Internal(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::KeyAlreadyExists(k) => write!(f, "key {k} already exists"),
+            StoreError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            StoreError::QuorumTimeout { needed, received } => {
+                write!(f, "quorum timeout: needed {needed} responses, got {received}")
+            }
+            StoreError::TooManyFailures { failed, tolerated } => {
+                write!(f, "{failed} data centers failed, configuration tolerates {tolerated}")
+            }
+            StoreError::StaleConfiguration { observed, current } => {
+                write!(f, "stale configuration: observed {observed}, current {current}")
+            }
+            StoreError::OperationFailedByReconfig { new_epoch } => {
+                write!(f, "operation failed by reconfiguration; retry in {new_epoch}")
+            }
+            StoreError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+            StoreError::DecodeFailed { have, need } => {
+                write!(f, "decode failed: have {have} symbols, need {need}")
+            }
+            StoreError::NotAHost { dc, key } => write!(f, "{dc} does not host key {key}"),
+            StoreError::MetadataUnavailable(k) => write!(f, "metadata unavailable for key {k}"),
+            StoreError::Transport(msg) => write!(f, "transport error: {msg}"),
+            StoreError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// True if retrying the operation (possibly after refreshing metadata) may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            StoreError::QuorumTimeout { .. }
+                | StoreError::StaleConfiguration { .. }
+                | StoreError::OperationFailedByReconfig { .. }
+                | StoreError::Transport(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StoreError::KeyNotFound(Key::from("a"));
+        assert!(e.to_string().contains('a'));
+        let e = StoreError::QuorumTimeout { needed: 3, received: 1 };
+        assert!(e.to_string().contains('3'));
+        let e = StoreError::DecodeFailed { have: 1, need: 2 };
+        assert!(e.to_string().contains("decode"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(StoreError::QuorumTimeout { needed: 2, received: 0 }.is_retryable());
+        assert!(StoreError::OperationFailedByReconfig { new_epoch: ConfigEpoch(3) }.is_retryable());
+        assert!(StoreError::StaleConfiguration {
+            observed: ConfigEpoch(1),
+            current: ConfigEpoch(2)
+        }
+        .is_retryable());
+        assert!(!StoreError::KeyNotFound(Key::from("x")).is_retryable());
+        assert!(!StoreError::Internal("bug".into()).is_retryable());
+    }
+}

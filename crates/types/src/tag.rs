@@ -1,0 +1,139 @@
+//! Logical tags used by both ABD and CAS.
+//!
+//! A tag is a `(logical timestamp, client id)` pair. Tags are totally ordered first by the
+//! integer timestamp and then by the client identifier, which breaks ties between writers
+//! that picked the same timestamp concurrently. Both protocols rely on this total order for
+//! linearizability.
+
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a LEGOStore client (the protocol endpoint co-located with users).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// Client id used for values installed by CREATE and by the reconfiguration controller.
+    pub const SYSTEM: ClientId = ClientId(0);
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A logical tag `(z, client)`: the version identifier attached to every stored value.
+///
+/// The ordering is lexicographic: timestamps dominate, client ids break ties.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tag {
+    /// Logical timestamp (the integer component `z`).
+    pub seq: u64,
+    /// The writer that produced this version.
+    pub client: ClientId,
+}
+
+impl Tag {
+    /// The tag associated with the initial value written by CREATE.
+    pub const INITIAL: Tag = Tag {
+        seq: 0,
+        client: ClientId::SYSTEM,
+    };
+
+    /// Creates a tag.
+    pub fn new(seq: u64, client: ClientId) -> Self {
+        Tag { seq, client }
+    }
+
+    /// Returns the tag a writer forms after observing `self` as the highest existing tag:
+    /// `(z + 1, writer)`.
+    pub fn successor(self, writer: ClientId) -> Tag {
+        Tag {
+            seq: self.seq + 1,
+            client: writer,
+        }
+    }
+
+    /// Returns the larger of two tags.
+    pub fn max(self, other: Tag) -> Tag {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.seq, self.client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ordering_is_timestamp_then_client() {
+        let a = Tag::new(1, ClientId(9));
+        let b = Tag::new(2, ClientId(1));
+        let c = Tag::new(2, ClientId(3));
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.max(b), b);
+        assert_eq!(c.max(b), c);
+    }
+
+    #[test]
+    fn successor_dominates_and_records_writer() {
+        let seen = Tag::new(41, ClientId(7));
+        let next = seen.successor(ClientId(2));
+        assert!(next > seen);
+        assert_eq!(next.seq, 42);
+        assert_eq!(next.client, ClientId(2));
+    }
+
+    #[test]
+    fn initial_is_minimal_among_writes() {
+        // Any write formed as a successor of anything is strictly larger than INITIAL.
+        let w = Tag::INITIAL.successor(ClientId(1));
+        assert!(w > Tag::INITIAL);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Tag::new(3, ClientId(4)).to_string(), "(3,c4)");
+    }
+
+    proptest! {
+        #[test]
+        fn successor_is_strictly_increasing(seq in 0u64..u64::MAX / 2, c1 in 0u32..100, c2 in 0u32..100) {
+            let t = Tag::new(seq, ClientId(c1));
+            prop_assert!(t.successor(ClientId(c2)) > t);
+        }
+
+        #[test]
+        fn max_is_commutative_and_idempotent(s1 in 0u64..1000, c1 in 0u32..10, s2 in 0u64..1000, c2 in 0u32..10) {
+            let a = Tag::new(s1, ClientId(c1));
+            let b = Tag::new(s2, ClientId(c2));
+            prop_assert_eq!(a.max(b), b.max(a));
+            prop_assert_eq!(a.max(a), a);
+        }
+
+        #[test]
+        fn order_is_total_and_antisymmetric(s1 in 0u64..1000, c1 in 0u32..10, s2 in 0u64..1000, c2 in 0u32..10) {
+            let a = Tag::new(s1, ClientId(c1));
+            let b = Tag::new(s2, ClientId(c2));
+            if a <= b && b <= a {
+                prop_assert_eq!(a, b);
+            }
+            prop_assert!(a <= b || b <= a);
+        }
+    }
+}

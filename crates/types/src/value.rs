@@ -1,0 +1,133 @@
+//! Values stored in LEGOStore.
+//!
+//! Values are opaque byte strings. They are reference-counted ([`bytes::Bytes`]) so that the
+//! many copies handled by quorum protocols (one message per replica / per codeword symbol)
+//! share a single allocation on the client side.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// An opaque, immutable value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Value(#[serde(with = "serde_bytes_compat")] pub Bytes);
+
+impl Value {
+    /// An empty value (what CREATE installs by default when no initial value is supplied).
+    pub fn empty() -> Self {
+        Value(Bytes::new())
+    }
+
+    /// Creates a value from any byte-like input.
+    pub fn new(data: impl Into<Bytes>) -> Self {
+        Value(data.into())
+    }
+
+    /// Creates a deterministic filler value of `len` bytes; useful for workload generators
+    /// where only the size matters.
+    pub fn filler(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        for i in 0..len {
+            v.push((i % 251) as u8);
+        }
+        Value(Bytes::from(v))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the value has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Clone the underlying `Bytes` handle (cheap).
+    pub fn bytes(&self) -> Bytes {
+        self.0.clone()
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(Bytes::from(v))
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value(Bytes::copy_from_slice(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value(Bytes::copy_from_slice(v.as_bytes()))
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// `Bytes` does not implement serde traits without an extra feature, so we (de)serialize
+/// through `Vec<u8>`. Serialization of values is only used by tooling (dumps, experiment
+/// records), never on the protocol hot path.
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_value() {
+        let v = Value::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn filler_has_requested_length_and_is_deterministic() {
+        let a = Value::filler(1024);
+        let b = Value::filler(1024);
+        assert_eq!(a.len(), 1024);
+        assert_eq!(a, b);
+        assert_ne!(a, Value::filler(1023));
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = "hello".into();
+        assert_eq!(v.as_bytes(), b"hello");
+        let v2: Value = vec![1u8, 2, 3].into();
+        assert_eq!(v2.len(), 3);
+        assert_eq!(v2.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn bytes_handle_is_shared() {
+        let v: Value = Value::filler(64);
+        let b = v.bytes();
+        assert_eq!(b.len(), 64);
+        assert_eq!(&b[..], v.as_bytes());
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's systematic workload grid (§4.1).
+//!
+//! 3 object sizes × 3 read ratios × 3 arrival rates × 3 datastore sizes × 7 client
+//! distributions = 567 basic workloads. The eighth, uniform, distribution is used in
+//! sensitivity studies (Figure 2) and the concurrency experiment (Figure 4).
+
+use crate::spec::{ReadRatio, WorkloadSpec};
+use legostore_cloud::{CloudModel, GcpLocation};
+use legostore_types::DcId;
+
+/// Named client distributions from §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientDistribution {
+    /// All requests from Oregon.
+    Oregon,
+    /// All requests from Los Angeles.
+    LosAngeles,
+    /// All requests from Tokyo.
+    Tokyo,
+    /// All requests from Sydney.
+    Sydney,
+    /// 50/50 Los Angeles and Oregon.
+    LosAngelesOregon,
+    /// 50/50 Sydney and Singapore.
+    SydneySingapore,
+    /// 50/50 Sydney and Tokyo.
+    SydneyTokyo,
+    /// Uniform over all nine DCs (used for Figure 2's "uniform" rows and Figure 4/11).
+    Uniform,
+}
+
+impl ClientDistribution {
+    /// The seven distributions of the 567-workload grid.
+    pub const BASIC: [ClientDistribution; 7] = [
+        ClientDistribution::Oregon,
+        ClientDistribution::LosAngeles,
+        ClientDistribution::Tokyo,
+        ClientDistribution::Sydney,
+        ClientDistribution::LosAngelesOregon,
+        ClientDistribution::SydneySingapore,
+        ClientDistribution::SydneyTokyo,
+    ];
+
+    /// All eight named distributions (the grid's seven plus Uniform).
+    pub const ALL: [ClientDistribution; 8] = [
+        ClientDistribution::Oregon,
+        ClientDistribution::LosAngeles,
+        ClientDistribution::Tokyo,
+        ClientDistribution::Sydney,
+        ClientDistribution::LosAngelesOregon,
+        ClientDistribution::SydneySingapore,
+        ClientDistribution::SydneyTokyo,
+        ClientDistribution::Uniform,
+    ];
+
+    /// Short label for figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientDistribution::Oregon => "Oregon",
+            ClientDistribution::LosAngeles => "LA",
+            ClientDistribution::Tokyo => "Tokyo",
+            ClientDistribution::Sydney => "Sydney",
+            ClientDistribution::LosAngelesOregon => "LA+Oregon",
+            ClientDistribution::SydneySingapore => "Sydney+Singapore",
+            ClientDistribution::SydneyTokyo => "Sydney+Tokyo",
+            ClientDistribution::Uniform => "Uniform",
+        }
+    }
+}
+
+/// Materializes a named client distribution as per-DC fractions against `model`.
+pub fn client_distribution(dist: ClientDistribution, model: &CloudModel) -> Vec<(DcId, f64)> {
+    let loc = |l: GcpLocation| l.dc();
+    match dist {
+        ClientDistribution::Oregon => vec![(loc(GcpLocation::Oregon), 1.0)],
+        ClientDistribution::LosAngeles => vec![(loc(GcpLocation::LosAngeles), 1.0)],
+        ClientDistribution::Tokyo => vec![(loc(GcpLocation::Tokyo), 1.0)],
+        ClientDistribution::Sydney => vec![(loc(GcpLocation::Sydney), 1.0)],
+        ClientDistribution::LosAngelesOregon => vec![
+            (loc(GcpLocation::LosAngeles), 0.5),
+            (loc(GcpLocation::Oregon), 0.5),
+        ],
+        ClientDistribution::SydneySingapore => vec![
+            (loc(GcpLocation::Sydney), 0.5),
+            (loc(GcpLocation::Singapore), 0.5),
+        ],
+        ClientDistribution::SydneyTokyo => vec![
+            (loc(GcpLocation::Sydney), 0.5),
+            (loc(GcpLocation::Tokyo), 0.5),
+        ],
+        ClientDistribution::Uniform => {
+            let n = model.num_dcs();
+            model
+                .dc_ids()
+                .into_iter()
+                .map(|d| (d, 1.0 / n as f64))
+                .collect()
+        }
+    }
+}
+
+/// Object sizes of the grid in bytes (1 KB, 10 KB, 100 KB).
+pub const OBJECT_SIZES: [u64; 3] = [1 << 10, 10 * (1 << 10), 100 * (1 << 10)];
+
+/// Aggregate arrival rates of the grid in requests/second.
+pub const ARRIVAL_RATES: [f64; 3] = [50.0, 200.0, 500.0];
+
+/// Total datastore sizes of the grid in bytes (100 GB, 1 TB, 10 TB).
+pub const DATA_SIZES: [u64; 3] = [100 * 1_000_000_000, 1_000_000_000_000, 10_000_000_000_000];
+
+/// Builds the 567 basic workloads for the given SLOs and fault tolerance.
+pub fn basic_workloads(
+    model: &CloudModel,
+    slo_get_ms: f64,
+    slo_put_ms: f64,
+    fault_tolerance: usize,
+) -> Vec<WorkloadSpec> {
+    let mut out = Vec::with_capacity(567);
+    for &object_size in &OBJECT_SIZES {
+        for ratio in ReadRatio::ALL {
+            for &rate in &ARRIVAL_RATES {
+                for &data in &DATA_SIZES {
+                    for dist in ClientDistribution::BASIC {
+                        let clients = client_distribution(dist, model);
+                        out.push(WorkloadSpec {
+                            name: format!(
+                                "o{}k-{}-r{}-d{}GB-{}",
+                                object_size / 1024,
+                                ratio.label(),
+                                rate as u64,
+                                data / 1_000_000_000,
+                                dist.label()
+                            ),
+                            object_size,
+                            metadata_size: legostore_cloud::METADATA_BYTES,
+                            read_ratio: ratio.rho(),
+                            arrival_rate: rate,
+                            total_data_bytes: data,
+                            client_distribution: clients,
+                            slo_get_ms,
+                            slo_put_ms,
+                            fault_tolerance,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_567_workloads() {
+        let model = CloudModel::gcp9();
+        let grid = basic_workloads(&model, 1000.0, 1000.0, 1);
+        assert_eq!(grid.len(), 567);
+        for w in &grid {
+            w.validate().unwrap();
+            assert_eq!(w.fault_tolerance, 1);
+            assert_eq!(w.slo_get_ms, 1000.0);
+        }
+    }
+
+    #[test]
+    fn grid_names_are_unique() {
+        let model = CloudModel::gcp9();
+        let grid = basic_workloads(&model, 200.0, 200.0, 1);
+        let names: std::collections::HashSet<_> = grid.iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names.len(), grid.len());
+    }
+
+    #[test]
+    fn uniform_distribution_covers_all_dcs() {
+        let model = CloudModel::gcp9();
+        let dist = client_distribution(ClientDistribution::Uniform, &model);
+        assert_eq!(dist.len(), 9);
+        let sum: f64 = dist.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_distributions_sum_to_one() {
+        let model = CloudModel::gcp9();
+        for d in ClientDistribution::ALL {
+            let dist = client_distribution(d, &model);
+            let sum: f64 = dist.iter().map(|(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}", d.label());
+            assert!(!dist.is_empty());
+        }
+    }
+
+    #[test]
+    fn sydney_tokyo_is_the_fig3_distribution() {
+        let model = CloudModel::gcp9();
+        let dist = client_distribution(ClientDistribution::SydneyTokyo, &model);
+        assert_eq!(dist.len(), 2);
+        assert!(dist.iter().any(|(d, _)| *d == GcpLocation::Sydney.dc()));
+        assert!(dist.iter().any(|(d, _)| *d == GcpLocation::Tokyo.dc()));
+    }
+}

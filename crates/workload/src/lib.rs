@@ -1,0 +1,25 @@
+//! Workload specifications and generators.
+//!
+//! The paper evaluates LEGOStore over a systematically varied workload space (§4.1): 3
+//! object sizes × 3 read ratios × 3 arrival rates × 3 datastore sizes × 7 client
+//! distributions = 567 "basic" workloads, plus a uniform client distribution, customized
+//! workloads for specific figures, and a real-world workload derived from a Wikipedia trace.
+//!
+//! This crate provides:
+//!
+//! * [`WorkloadSpec`] — the per-key(-group) workload features the optimizer consumes;
+//! * [`grid`] — the 567 basic workloads and the named client distributions;
+//! * [`trace`] — an open-loop Poisson request generator turning a spec into a timestamped
+//!   request trace for the simulator / threaded runtime;
+//! * [`wikipedia`] — a synthetic stand-in for the Wikipedia trace with the same salient
+//!   features (read-mostly, Zipf-skewed popularity, two epochs with different client mixes).
+
+pub mod grid;
+pub mod spec;
+pub mod trace;
+pub mod wikipedia;
+
+pub use grid::{basic_workloads, client_distribution, ClientDistribution};
+pub use spec::{ReadRatio, WorkloadSpec};
+pub use trace::{Request, TraceGenerator};
+pub use wikipedia::{synthesize_wikipedia, WikipediaEpoch, WikipediaKey};

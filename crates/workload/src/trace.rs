@@ -1,0 +1,188 @@
+//! Open-loop Poisson request trace generation.
+//!
+//! The paper's workload generator "emulates a user application with an assumption that it
+//! sends requests as per a Poisson process" (§4.1). [`TraceGenerator`] turns a
+//! [`WorkloadSpec`] into a timestamped request sequence: exponential inter-arrival times at
+//! the aggregate rate, request origins drawn from the client distribution, and GET/PUT drawn
+//! from the read ratio.
+
+use crate::spec::WorkloadSpec;
+use legostore_types::{DcId, OpKind};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Arrival time in milliseconds from the start of the trace.
+    pub time_ms: f64,
+    /// The DC in/near which the issuing user resides.
+    pub origin: DcId,
+    /// GET or PUT.
+    pub kind: OpKind,
+    /// Index of the key within the key group (0 for single-key workloads).
+    pub key_index: usize,
+    /// Object size in bytes (PUT payload / expected GET response size).
+    pub object_size: u64,
+}
+
+/// Deterministic (seeded) Poisson trace generator.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    num_keys: usize,
+    rng: StdRng,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec` spreading requests uniformly over `num_keys` keys.
+    pub fn new(spec: WorkloadSpec, num_keys: usize, seed: u64) -> Self {
+        assert!(num_keys >= 1, "need at least one key");
+        TraceGenerator {
+            spec,
+            num_keys,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying workload spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Generates all requests arriving within `duration_ms`.
+    pub fn generate(&mut self, duration_ms: f64) -> Vec<Request> {
+        let mut out = Vec::new();
+        if self.spec.arrival_rate <= 0.0 {
+            return out;
+        }
+        let rate_per_ms = self.spec.arrival_rate / 1000.0;
+        let mut t = self.next_exponential(rate_per_ms);
+        while t < duration_ms {
+            out.push(self.make_request(t));
+            t += self.next_exponential(rate_per_ms);
+        }
+        out
+    }
+
+    /// Generates exactly `count` requests (useful for fixed-size experiments).
+    pub fn generate_count(&mut self, count: usize) -> Vec<Request> {
+        let mut out = Vec::with_capacity(count);
+        let rate_per_ms = self.spec.arrival_rate.max(1e-9) / 1000.0;
+        let mut t = 0.0;
+        for _ in 0..count {
+            t += self.next_exponential(rate_per_ms);
+            out.push(self.make_request(t));
+        }
+        out
+    }
+
+    fn make_request(&mut self, time_ms: f64) -> Request {
+        let kind = if self.rng.gen::<f64>() < self.spec.read_ratio {
+            OpKind::Get
+        } else {
+            OpKind::Put
+        };
+        let origin = self.sample_origin();
+        let key_index = if self.num_keys == 1 {
+            0
+        } else {
+            self.rng.gen_range(0..self.num_keys)
+        };
+        Request {
+            time_ms,
+            origin,
+            kind,
+            key_index,
+            object_size: self.spec.object_size,
+        }
+    }
+
+    fn sample_origin(&mut self) -> DcId {
+        let u: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for (dc, frac) in &self.spec.client_distribution {
+            acc += frac;
+            if u <= acc {
+                return *dc;
+            }
+        }
+        self.spec
+            .client_distribution
+            .last()
+            .map(|(d, _)| *d)
+            .unwrap_or(DcId(0))
+    }
+
+    fn next_exponential(&mut self, rate_per_ms: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / rate_per_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    fn spec(rate: f64, rho: f64) -> WorkloadSpec {
+        let mut s = WorkloadSpec::example();
+        s.arrival_rate = rate;
+        s.read_ratio = rho;
+        s.client_distribution = vec![(DcId(0), 0.3), (DcId(1), 0.7)];
+        s
+    }
+
+    #[test]
+    fn trace_is_deterministic_for_a_seed() {
+        let mut g1 = TraceGenerator::new(spec(100.0, 0.5), 4, 7);
+        let mut g2 = TraceGenerator::new(spec(100.0, 0.5), 4, 7);
+        assert_eq!(g1.generate(10_000.0), g2.generate(10_000.0));
+        let mut g3 = TraceGenerator::new(spec(100.0, 0.5), 4, 8);
+        assert_ne!(g1.generate(10_000.0), g3.generate(10_000.0));
+    }
+
+    #[test]
+    fn arrival_rate_is_respected_on_average() {
+        let mut g = TraceGenerator::new(spec(200.0, 0.5), 1, 42);
+        let reqs = g.generate(60_000.0); // one minute at 200 req/s ≈ 12000 requests
+        let expected = 200.0 * 60.0;
+        assert!(
+            (reqs.len() as f64 - expected).abs() < expected * 0.1,
+            "got {} requests, expected ≈{}",
+            reqs.len(),
+            expected
+        );
+        // Timestamps are sorted and within the window.
+        for w in reqs.windows(2) {
+            assert!(w[0].time_ms <= w[1].time_ms);
+        }
+        assert!(reqs.last().unwrap().time_ms < 60_000.0);
+    }
+
+    #[test]
+    fn read_ratio_and_origin_mix_are_respected() {
+        let mut g = TraceGenerator::new(spec(500.0, 0.8), 1, 3);
+        let reqs = g.generate(120_000.0);
+        let gets = reqs.iter().filter(|r| r.kind.is_get()).count() as f64;
+        let frac = gets / reqs.len() as f64;
+        assert!((frac - 0.8).abs() < 0.03, "GET fraction {frac}");
+        let at1 = reqs.iter().filter(|r| r.origin == DcId(1)).count() as f64;
+        assert!((at1 / reqs.len() as f64 - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn zero_rate_produces_empty_trace() {
+        let mut g = TraceGenerator::new(spec(0.0, 0.5), 1, 3);
+        assert!(g.generate(1000.0).is_empty());
+    }
+
+    #[test]
+    fn generate_count_produces_exactly_count() {
+        let mut g = TraceGenerator::new(spec(50.0, 0.5), 8, 3);
+        let reqs = g.generate_count(1000);
+        assert_eq!(reqs.len(), 1000);
+        assert!(reqs.iter().all(|r| r.key_index < 8));
+        assert!(reqs.iter().any(|r| r.key_index != reqs[0].key_index));
+    }
+}

@@ -1,0 +1,140 @@
+//! Dynamic reconfiguration on the live (threaded) store: a key starts replicated near its
+//! initial users, the workload shifts to another continent and becomes read-heavier, the
+//! cost/benefit analysis of §3.4 decides whether to move, and the reconfiguration protocol
+//! migrates the key while clients keep issuing operations from both locations.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dynamic_reconfiguration
+//! ```
+
+use legostore::optimizer::latency::meets_slo;
+use legostore::optimizer::reconfig_analysis::should_reconfigure;
+use legostore::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn workload(
+    model: &CloudModel,
+    clients: Vec<(DcId, f64)>,
+    read_ratio: f64,
+    slo_ms: f64,
+) -> WorkloadSpec {
+    let _ = model;
+    WorkloadSpec {
+        name: "session-store".into(),
+        object_size: 2048,
+        metadata_size: 100,
+        read_ratio,
+        arrival_rate: 600.0,
+        total_data_bytes: 20 * (1 << 30),
+        client_distribution: clients,
+        slo_get_ms: slo_ms,
+        slo_put_ms: slo_ms,
+        fault_tolerance: 1,
+    }
+}
+
+fn main() {
+    let model = CloudModel::gcp9();
+    let optimizer = Optimizer::new(model.clone());
+    let frankfurt = GcpLocation::Frankfurt.dc();
+    let london = GcpLocation::London.dc();
+    let tokyo = GcpLocation::Tokyo.dc();
+    let singapore = GcpLocation::Singapore.dc();
+
+    // Phase 1: European users, mixed read/write, relaxed 900 ms SLO.
+    let europe = workload(&model, vec![(frankfurt, 0.6), (london, 0.4)], 0.5, 900.0);
+    let initial_plan = optimizer.optimize(&europe).expect("feasible");
+    println!(
+        "initial plan for European traffic: {} at ${:.4}/h",
+        initial_plan.config.describe(),
+        initial_plan.total_cost()
+    );
+
+    let cluster = Cluster::gcp9(ClusterOptions {
+        latency_scale: 0.01,
+        ..Default::default()
+    });
+    let key = Key::from("session:eu-42");
+    cluster.install_key(key.clone(), initial_plan.config.clone(), &Value::filler(2048));
+
+    // Background writer in Frankfurt keeps updating the session while we reconfigure.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_stop = stop.clone();
+    let mut writer = cluster.client(frankfurt);
+    let writer_key = key.clone();
+    let writer_thread = std::thread::spawn(move || {
+        let mut version = 0u64;
+        while !writer_stop.load(Ordering::Relaxed) {
+            version += 1;
+            let value = Value::from(format!("session-state-v{version}").as_str());
+            if writer.put(&writer_key, value).is_err() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        version
+    });
+
+    // Phase 2: the workload shifts to Asia and becomes read-heavy. (Give the background
+    // writer a moment to produce a history worth migrating.)
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    // The shifted traffic also demands a tighter 500 ms SLO.
+    let asia = workload(&model, vec![(tokyo, 0.5), (singapore, 0.5)], 0.95, 500.0);
+    let new_plan = optimizer.optimize(&asia).expect("feasible");
+    println!(
+        "plan for the shifted (Asian, read-heavy) traffic: {} at ${:.4}/h",
+        new_plan.config.describe(),
+        new_plan.total_cost()
+    );
+
+    // §3.4 cost/benefit rule: is the move worth it if the new pattern lasts a day?
+    let decision = should_reconfigure(
+        &model,
+        &initial_plan,
+        &new_plan,
+        2048,
+        1_000_000, // a million sessions share this profile
+        GcpLocation::LosAngeles.dc(),
+        24.0,
+        0.25,
+    );
+    println!("cost/benefit decision: {decision:?}");
+
+    // SLO maintenance is sacrosanct (§3.4): if the old placement cannot meet the shifted
+    // workload's SLO we reconfigure regardless of the dollar calculus.
+    let old_meets_new_slo = meets_slo(&model, &asia, &initial_plan.config);
+    println!("does the old configuration meet the new 500 ms SLO? {old_meets_new_slo}");
+
+    if decision.should_move() || !old_meets_new_slo {
+        let reason = if old_meets_new_slo { "cost savings" } else { "SLO violations" };
+        let took = cluster
+            .reconfigure(key.clone(), new_plan.config.clone())
+            .expect("reconfiguration succeeds");
+        println!(
+            "reconfigured to {} (reason: {reason}) in {:?} while writes kept flowing",
+            cluster.metadata_config(&key).unwrap().describe(),
+            took
+        );
+    } else {
+        println!("keeping the existing configuration (savings do not justify the transfer)");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let writes = writer_thread.join().expect("writer thread");
+    let mut reader = cluster.client(tokyo);
+    let final_value = reader.get(&key).expect("read after migration");
+    println!(
+        "writer completed {writes} PUTs; Tokyo reads: {}",
+        String::from_utf8_lossy(final_value.as_bytes())
+    );
+
+    let failures = cluster.recorder().check_all();
+    println!(
+        "linearizability over {} recorded operations: {}",
+        cluster.recorder().len(key.as_str()),
+        if failures.is_empty() { "OK" } else { "VIOLATED" }
+    );
+    cluster.shutdown();
+}

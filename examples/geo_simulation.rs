@@ -1,0 +1,93 @@
+//! Geo-distribution what-if study on the deterministic simulator: run the same read-heavy
+//! workload under the optimizer's ABD plan and its CAS plan, replay a data-center failure
+//! and a live reconfiguration, and compare measured latencies and metered network cost.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example geo_simulation
+//! ```
+
+use legostore::prelude::*;
+
+fn simulate(
+    model: &CloudModel,
+    plan: &Plan,
+    spec: &WorkloadSpec,
+    duration_ms: f64,
+    fail_dc: Option<DcId>,
+) -> SimReport {
+    let mut sim = Simulation::with_options(model.clone(), SimOptions::default());
+    sim.create_key("object", plan.config.clone(), &Value::filler(spec.object_size as usize));
+    let mut gen = TraceGenerator::new(spec.clone(), 1, 2024);
+    sim.schedule_trace(&gen.generate(duration_ms), 0.0, |_| "object".to_string());
+    if let Some(dc) = fail_dc {
+        sim.schedule_failure(duration_ms / 2.0, dc);
+    }
+    sim.run()
+}
+
+fn main() {
+    let model = CloudModel::gcp9();
+    let mut spec = WorkloadSpec::example();
+    spec.object_size = 4096;
+    spec.read_ratio = 0.9;
+    spec.arrival_rate = 80.0;
+    spec.client_distribution = client_distribution(ClientDistribution::SydneyTokyo, &model);
+    spec.slo_get_ms = 1000.0;
+    spec.slo_put_ms = 1000.0;
+
+    let abd = Optimizer::new(model.clone())
+        .optimize_filtered(&spec, ProtocolFilter::AbdOnly)
+        .expect("ABD plan");
+    let cas = Optimizer::new(model.clone())
+        .optimize_filtered(&spec, ProtocolFilter::CasOnly)
+        .expect("CAS plan");
+
+    println!("workload: 4 KB objects, 90% reads, 80 req/s from Sydney+Tokyo, 1 s SLO, f=1\n");
+    for (label, plan) in [("ABD plan", &abd), ("CAS plan", &cas)] {
+        let report = simulate(&model, plan, &spec, 60_000.0, None);
+        let get = report.latency(Some(OpKind::Get), None, None, None);
+        let put = report.latency(Some(OpKind::Put), None, None, None);
+        println!(
+            "{label}: {:9}  predicted ${:.4}/h | measured n/w cost over 1 min ${:.6} | GET avg {:.0} ms p99 {:.0} ms | PUT avg {:.0} ms p99 {:.0} ms | optimized GETs {:.0}%",
+            plan.config.describe(),
+            plan.total_cost(),
+            report.cost.total(),
+            get.mean_ms,
+            get.p99_ms,
+            put.mean_ms,
+            put.p99_ms,
+            report.optimized_get_fraction() * 100.0
+        );
+    }
+
+    // Failure study: kill one of the CAS plan's quorum members halfway through.
+    let victim = cas.config.dcs[0];
+    let report = simulate(&model, &cas, &spec, 60_000.0, Some(victim));
+    let before = report.latency(None, None, None, Some(30_000.0));
+    let after = report.latency(None, None, Some(30_000.0), None);
+    println!(
+        "\nfailure study: {} fails at t=30 s under the CAS plan",
+        model.dc(victim).name
+    );
+    println!(
+        "  before: avg {:.0} ms p99 {:.0} ms | after: avg {:.0} ms p99 {:.0} ms | failed ops {}",
+        before.mean_ms, before.p99_ms, after.mean_ms, after.p99_ms, report.failures()
+    );
+
+    // Reconfiguration study: migrate from the ABD plan to the CAS plan mid-run.
+    let mut sim = Simulation::with_options(model.clone(), SimOptions::default());
+    sim.create_key("object", abd.config.clone(), &Value::filler(4096));
+    let mut gen = TraceGenerator::new(spec.clone(), 1, 7);
+    sim.schedule_trace(&gen.generate(60_000.0), 0.0, |_| "object".to_string());
+    sim.schedule_reconfig(30_000.0, "object", cas.config.clone());
+    let report = sim.run();
+    println!("\nlive reconfiguration ABD -> CAS at t=30 s:");
+    println!(
+        "  transfer completed in {:.0} ms; {} of {} operations were failed over and retried; 0 lost: {}",
+        report.reconfig_durations_ms.first().copied().unwrap_or(f64::NAN),
+        report.operations.iter().filter(|o| o.reconfig_retries > 0).count(),
+        report.operations.len(),
+        report.failures() == 0
+    );
+}

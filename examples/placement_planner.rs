@@ -1,0 +1,93 @@
+//! Placement planner: use LEGOStore's optimizer as a standalone tool to decide, for a set
+//! of workload profiles, whether to replicate (ABD) or erasure-code (CAS), which data
+//! centers to use, and what it will cost — and compare against the paper's baselines.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example placement_planner
+//! ```
+
+use legostore::prelude::*;
+
+fn profile(
+    model: &CloudModel,
+    name: &str,
+    dist: ClientDistribution,
+    object_size: u64,
+    read_ratio: f64,
+    slo_ms: f64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_string(),
+        object_size,
+        metadata_size: 100,
+        read_ratio,
+        arrival_rate: 200.0,
+        total_data_bytes: 1 << 40, // 1 TiB of data with this profile
+        client_distribution: client_distribution(dist, model),
+        slo_get_ms: slo_ms,
+        slo_put_ms: slo_ms,
+        fault_tolerance: 1,
+    }
+}
+
+fn main() {
+    let model = CloudModel::gcp9();
+    let optimizer = Optimizer::new(model.clone());
+
+    let profiles = vec![
+        profile(&model, "session-cache (Tokyo, read-heavy, relaxed SLO)", ClientDistribution::Tokyo, 1024, 0.97, 1000.0),
+        profile(&model, "shopping-cart (Sydney+Tokyo, mixed, 400 ms SLO)", ClientDistribution::SydneyTokyo, 4096, 0.5, 400.0),
+        profile(&model, "telemetry (LA+Oregon, write-heavy, relaxed SLO)", ClientDistribution::LosAngelesOregon, 10 * 1024, 1.0 / 31.0, 1000.0),
+        profile(&model, "global-feed (uniform users, read-heavy, 750 ms SLO)", ClientDistribution::Uniform, 10 * 1024, 0.97, 750.0),
+        profile(&model, "checkout (Sydney+Singapore, mixed, 200 ms SLO)", ClientDistribution::SydneySingapore, 1024, 0.5, 200.0),
+    ];
+
+    for spec in &profiles {
+        println!("\n=== {} ===", spec.name);
+        match optimizer.optimize(spec) {
+            None => {
+                println!("  no configuration can meet the {} ms SLO", spec.slo_get_ms);
+                continue;
+            }
+            Some(plan) => {
+                let dcs: Vec<&str> = plan
+                    .config
+                    .dcs
+                    .iter()
+                    .map(|d| model.dc(*d).name.as_str())
+                    .collect();
+                println!(
+                    "  optimizer : {:9} over {:?}",
+                    plan.config.describe(),
+                    dcs
+                );
+                println!(
+                    "              ${:.4}/h (GET n/w {:.4}, PUT n/w {:.4}, storage {:.4}, VM {:.4})",
+                    plan.total_cost(),
+                    plan.cost.get_network,
+                    plan.cost.put_network,
+                    plan.cost.storage,
+                    plan.cost.vm
+                );
+                println!(
+                    "              worst-case GET {:.0} ms, PUT {:.0} ms",
+                    plan.worst_get_latency_ms, plan.worst_put_latency_ms
+                );
+                // How much would the paper's baselines pay for the same workload?
+                for baseline in Baseline::ALL {
+                    match evaluate_baseline(&model, spec, baseline) {
+                        Some(b) => println!(
+                            "  {:18}: {:9} ${:.4}/h ({:+.0}% vs optimizer)",
+                            baseline.label(),
+                            b.config.describe(),
+                            b.total_cost(),
+                            (b.total_cost() / plan.total_cost() - 1.0) * 100.0
+                        ),
+                        None => println!("  {:18}: infeasible under this SLO", baseline.label()),
+                    }
+                }
+            }
+        }
+    }
+}

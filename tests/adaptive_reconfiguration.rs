@@ -1,0 +1,158 @@
+//! The full adaptation loop of §3.4, end to end: serve a workload under a plan, watch it
+//! with the workload monitor, detect that the workload shifted, re-plan with the optimizer,
+//! apply the cost/benefit rule and execute the reconfiguration — verifying that the new
+//! configuration is cheaper for the new workload and that no operation is lost.
+
+use legostore::optimizer::monitor::{OpObservation, TriggerThresholds, WorkloadMonitor};
+use legostore::optimizer::reconfig_analysis::should_reconfigure;
+use legostore::optimizer::ReconfigTrigger;
+use legostore::prelude::*;
+
+fn run_phase(plan_config: &Configuration, spec: &WorkloadSpec, duration_ms: f64, seed: u64) -> SimReport {
+    let model = CloudModel::gcp9();
+    let mut sim = Simulation::new(model);
+    sim.create_key("k", plan_config.clone(), &Value::filler(spec.object_size as usize));
+    let mut gen = TraceGenerator::new(spec.clone(), 1, seed);
+    sim.schedule_trace(&gen.generate(duration_ms), 0.0, |_| "k".to_string());
+    sim.run()
+}
+
+fn observe(report: &SimReport, monitor: &mut WorkloadMonitor, object_bytes: u64) {
+    for op in &report.operations {
+        monitor.record(OpObservation {
+            at_ms: op.end_ms,
+            origin: op.origin,
+            kind: op.kind,
+            latency_ms: op.latency_ms(),
+            object_bytes,
+        });
+    }
+}
+
+#[test]
+fn monitor_detects_shift_and_replan_is_cheaper() {
+    let model = CloudModel::gcp9();
+    let optimizer = Optimizer::new(model.clone());
+
+    // Planned workload: European users, balanced read/write, 1 s SLO.
+    let mut planned = WorkloadSpec::example();
+    planned.object_size = 2048;
+    planned.read_ratio = 0.5;
+    planned.arrival_rate = 80.0;
+    planned.client_distribution = vec![
+        (GcpLocation::Frankfurt.dc(), 0.6),
+        (GcpLocation::London.dc(), 0.4),
+    ];
+    planned.slo_get_ms = 1000.0;
+    planned.slo_put_ms = 1000.0;
+    let initial_plan = optimizer.optimize(&planned).expect("feasible");
+
+    // The actual traffic turns out to be read-heavy and Asian.
+    let mut actual = planned.clone();
+    actual.read_ratio = 0.95;
+    actual.arrival_rate = 160.0;
+    actual.client_distribution = vec![
+        (GcpLocation::Tokyo.dc(), 0.5),
+        (GcpLocation::Singapore.dc(), 0.5),
+    ];
+    let report = run_phase(&initial_plan.config, &actual, 30_000.0, 17);
+    assert!(report.operations.len() > 2000);
+
+    // Feed the monitor with what was actually served.
+    let mut monitor = WorkloadMonitor::new(60_000.0, planned.slo_get_ms, planned.slo_put_ms);
+    observe(&report, &mut monitor, actual.object_size);
+    let triggers = monitor.triggers(
+        &planned,
+        &initial_plan.cost,
+        initial_plan.total_cost(), // billed as predicted; the drift alone should trigger
+        &TriggerThresholds::default(),
+    );
+    assert!(
+        triggers.iter().any(|t| matches!(t, ReconfigTrigger::WorkloadDrift { .. })),
+        "expected a workload-drift trigger, got {triggers:?}"
+    );
+
+    // Re-plan with the observed workload; the new plan must cost less for the new reality
+    // than keeping the old configuration would.
+    let observed_spec = monitor.estimate(&planned);
+    observed_spec.validate().unwrap();
+    let new_plan = optimizer.optimize(&observed_spec).expect("feasible");
+    let old_plan_on_new_workload = Plan {
+        config: initial_plan.config.clone(),
+        cost: legostore::optimizer::cost::cost_of(&model, &observed_spec, &initial_plan.config),
+        worst_get_latency_ms: initial_plan.worst_get_latency_ms,
+        worst_put_latency_ms: initial_plan.worst_put_latency_ms,
+    };
+    assert!(
+        new_plan.total_cost() <= old_plan_on_new_workload.total_cost() + 1e-9,
+        "re-planned {} vs stale {}",
+        new_plan.total_cost(),
+        old_plan_on_new_workload.total_cost()
+    );
+
+    // Cost/benefit rule: with a multi-hour stability horizon, moving a 2 KB object is
+    // obviously worth it whenever there are real savings.
+    let decision = should_reconfigure(
+        &model,
+        &old_plan_on_new_workload,
+        &new_plan,
+        observed_spec.object_size,
+        1,
+        GcpLocation::LosAngeles.dc(),
+        24.0,
+        0.25,
+    );
+    if new_plan.total_cost() < old_plan_on_new_workload.total_cost() * 0.95 {
+        assert!(decision.should_move(), "{decision:?}");
+    }
+
+    // Execute the move in the simulator under live traffic: nothing is lost.
+    let mut sim = Simulation::new(model);
+    sim.create_key("k", initial_plan.config.clone(), &Value::filler(2048));
+    let mut gen = TraceGenerator::new(actual.clone(), 1, 23);
+    sim.schedule_trace(&gen.generate(20_000.0), 0.0, |_| "k".to_string());
+    sim.schedule_reconfig(10_000.0, "k", new_plan.config.clone());
+    let report = sim.run();
+    assert_eq!(report.failures(), 0);
+    assert_eq!(report.reconfig_durations_ms.len(), 1);
+    assert!(report.reconfig_durations_ms[0] < 2000.0);
+}
+
+#[test]
+fn stable_workload_does_not_trigger_or_move() {
+    let model = CloudModel::gcp9();
+    let optimizer = Optimizer::new(model.clone());
+    let mut planned = WorkloadSpec::example();
+    planned.object_size = 1024;
+    planned.read_ratio = 0.9;
+    planned.arrival_rate = 100.0;
+    planned.client_distribution = vec![(GcpLocation::Oregon.dc(), 1.0)];
+    let plan = optimizer.optimize(&planned).expect("feasible");
+
+    let report = run_phase(&plan.config, &planned, 20_000.0, 31);
+    let mut monitor = WorkloadMonitor::new(60_000.0, planned.slo_get_ms, planned.slo_put_ms);
+    observe(&report, &mut monitor, planned.object_size);
+    let triggers = monitor.triggers(
+        &planned,
+        &plan.cost,
+        plan.total_cost(),
+        &TriggerThresholds::default(),
+    );
+    assert!(triggers.is_empty(), "stable workload must not trigger: {triggers:?}");
+
+    // And even if we force a re-plan, the §3.4 rule declines to move for negligible savings.
+    let replanned = optimizer.optimize(&monitor.estimate(&planned)).expect("feasible");
+    let decision = should_reconfigure(
+        &model,
+        &plan,
+        &replanned,
+        planned.object_size,
+        1_000_000,
+        GcpLocation::LosAngeles.dc(),
+        0.5,
+        0.5,
+    );
+    if (plan.total_cost() - replanned.total_cost()).abs() < 1e-3 {
+        assert!(!decision.should_move(), "{decision:?}");
+    }
+}

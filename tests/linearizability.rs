@@ -1,0 +1,198 @@
+//! End-to-end linearizability tests on the threaded deployment: concurrent clients, both
+//! protocols, reconfigurations and data-center failures, all checked with the history
+//! checker (the role Porcupine plays in the paper's evaluation).
+
+use legostore::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_cluster() -> Cluster {
+    Cluster::gcp9(ClusterOptions {
+        latency_scale: 0.002,
+        op_timeout: Duration::from_millis(300),
+        ..Default::default()
+    })
+}
+
+fn abd_config() -> Configuration {
+    Configuration::abd_majority(
+        vec![
+            GcpLocation::Tokyo.dc(),
+            GcpLocation::LosAngeles.dc(),
+            GcpLocation::Oregon.dc(),
+        ],
+        1,
+    )
+}
+
+fn cas_config() -> Configuration {
+    Configuration::cas_default(
+        vec![
+            GcpLocation::Tokyo.dc(),
+            GcpLocation::Singapore.dc(),
+            GcpLocation::Virginia.dc(),
+            GcpLocation::LosAngeles.dc(),
+            GcpLocation::Oregon.dc(),
+        ],
+        3,
+        1,
+    )
+}
+
+/// Runs `writers` + `readers` concurrent clients against one key and returns the cluster so
+/// callers can inspect the recorded history.
+fn hammer(cluster: &Cluster, key: &Key, writers: usize, readers: usize, ops_each: usize) {
+    let key = Arc::new(key.clone());
+    let mut handles = Vec::new();
+    let dcs = [
+        GcpLocation::Tokyo.dc(),
+        GcpLocation::Sydney.dc(),
+        GcpLocation::Frankfurt.dc(),
+        GcpLocation::Virginia.dc(),
+        GcpLocation::Oregon.dc(),
+    ];
+    for w in 0..writers {
+        let mut client = cluster.client(dcs[w % dcs.len()]);
+        let key = key.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..ops_each {
+                let value = Value::from(format!("w{w}-v{i}").as_str());
+                client.put(&key, value).expect("put");
+            }
+        }));
+    }
+    for r in 0..readers {
+        let mut client = cluster.client(dcs[(r + 2) % dcs.len()]);
+        let key = key.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..ops_each {
+                client.get(&key).expect("get");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}
+
+#[test]
+fn concurrent_abd_history_is_linearizable() {
+    let cluster = fast_cluster();
+    let key = Key::from("abd-hammer");
+    cluster.install_key(key.clone(), abd_config(), &Value::from("init"));
+    hammer(&cluster, &key, 3, 3, 12);
+    let recorder = cluster.recorder();
+    assert_eq!(recorder.len(key.as_str()), 3 * 12 + 3 * 12);
+    let failures = recorder.check_all();
+    assert!(failures.is_empty(), "non-linearizable keys: {failures:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_cas_history_is_linearizable() {
+    let cluster = fast_cluster();
+    let key = Key::from("cas-hammer");
+    cluster.install_key(key.clone(), cas_config(), &Value::from("init"));
+    hammer(&cluster, &key, 3, 3, 12);
+    let failures = cluster.recorder().check_all();
+    assert!(failures.is_empty(), "non-linearizable keys: {failures:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn linearizability_holds_across_a_reconfiguration() {
+    let cluster = fast_cluster();
+    let key = Key::from("moving-key");
+    cluster.install_key(key.clone(), abd_config(), &Value::from("init"));
+
+    // Writers and readers keep running while the key is migrated ABD -> CAS.
+    let key_arc = Arc::new(key.clone());
+    let mut handles = Vec::new();
+    for w in 0..2 {
+        let mut client = cluster.client(GcpLocation::Tokyo.dc());
+        let key = key_arc.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..25 {
+                client
+                    .put(&key, Value::from(format!("w{w}-{i}").as_str()))
+                    .expect("put during reconfig");
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let mut client = cluster.client(GcpLocation::Virginia.dc());
+        let key = key_arc.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..25 {
+                client.get(&key).expect("get during reconfig");
+            }
+        }));
+    }
+    // Give the workload a head start, then reconfigure to CAS on different DCs.
+    std::thread::sleep(Duration::from_millis(20));
+    cluster
+        .reconfigure(key.clone(), cas_config())
+        .expect("reconfiguration succeeds under load");
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let meta = cluster.metadata_config(&key).unwrap();
+    assert_eq!(meta.describe(), "CAS(5,3)");
+    assert_eq!(meta.epoch, ConfigEpoch(1));
+    let failures = cluster.recorder().check_all();
+    assert!(failures.is_empty(), "non-linearizable keys: {failures:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn linearizability_holds_under_a_dc_failure() {
+    let cluster = fast_cluster();
+    let key = Key::from("failure-key");
+    cluster.install_key(key.clone(), abd_config(), &Value::from("init"));
+
+    // Fail one quorum member mid-run; f = 1 so everything must still complete.
+    let cluster_ref = &cluster;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            cluster_ref.fail_dc(GcpLocation::Oregon.dc());
+        });
+        let mut writer = cluster.client(GcpLocation::Tokyo.dc());
+        let mut reader = cluster.client(GcpLocation::LosAngeles.dc());
+        for i in 0..20 {
+            writer
+                .put(&key, Value::from(format!("v{i}").as_str()))
+                .expect("put survives failure");
+            reader.get(&key).expect("get survives failure");
+        }
+    });
+    let failures = cluster.recorder().check_all();
+    assert!(failures.is_empty(), "non-linearizable keys: {failures:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn many_keys_partition_independently() {
+    let cluster = fast_cluster();
+    let mut clients: Vec<StoreClient> = (0..3)
+        .map(|i| cluster.client(DcId(i as u16 * 3)))
+        .collect();
+    for k in 0..6 {
+        let key = Key::from(format!("key-{k}").as_str());
+        clients[k % 3]
+            .create(&key, Value::from(format!("init-{k}").as_str()))
+            .unwrap();
+    }
+    for round in 0..5 {
+        for k in 0..6 {
+            let key = Key::from(format!("key-{k}").as_str());
+            let c = &mut clients[(k + round) % 3];
+            c.put(&key, Value::from(format!("{k}:{round}").as_str())).unwrap();
+            let v = c.get(&key).unwrap();
+            assert_eq!(v, Value::from(format!("{k}:{round}").as_str()));
+        }
+    }
+    assert!(cluster.recorder().check_all().is_empty());
+    cluster.shutdown();
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration: the optimizer's plans hold up when executed — the simulator's
+//! measured latencies respect the plan's worst-case predictions and SLOs, the metered
+//! network cost ranks configurations the same way the cost model does, and the paper's
+//! headline qualitative findings come out of the pipeline end to end.
+
+use legostore::prelude::*;
+
+fn sim_workload(plan: &Plan, spec: &WorkloadSpec, duration_ms: f64, seed: u64) -> SimReport {
+    let model = CloudModel::gcp9();
+    let mut sim = Simulation::new(model);
+    sim.create_key("k", plan.config.clone(), &Value::filler(spec.object_size as usize));
+    let mut gen = TraceGenerator::new(spec.clone(), 1, seed);
+    sim.schedule_trace(&gen.generate(duration_ms), 0.0, |_| "k".to_string());
+    sim.run()
+}
+
+fn spec_for(dist: ClientDistribution, read_ratio: f64, slo_ms: f64) -> WorkloadSpec {
+    let model = CloudModel::gcp9();
+    let mut spec = WorkloadSpec::example();
+    spec.object_size = 1024;
+    spec.arrival_rate = 60.0;
+    spec.read_ratio = read_ratio;
+    spec.client_distribution = client_distribution(dist, &model);
+    spec.slo_get_ms = slo_ms;
+    spec.slo_put_ms = slo_ms;
+    spec
+}
+
+#[test]
+fn simulated_latencies_respect_the_plans_predictions() {
+    let spec = spec_for(ClientDistribution::SydneyTokyo, 0.5, 1000.0);
+    let plan = Optimizer::new(CloudModel::gcp9()).optimize(&spec).expect("feasible");
+    let report = sim_workload(&plan, &spec, 30_000.0, 11);
+    assert!(report.operations.len() > 500);
+    assert_eq!(report.failures(), 0);
+    // Worst-case model bounds the simulator's per-op latencies (small tolerance for the
+    // metadata-fetch rounding in the simulator).
+    let put = report.latency(Some(OpKind::Put), None, None, None);
+    let get = report.latency(Some(OpKind::Get), None, None, None);
+    assert!(
+        put.max_ms <= plan.worst_put_latency_ms + 20.0,
+        "simulated PUT max {} vs predicted worst case {}",
+        put.max_ms,
+        plan.worst_put_latency_ms
+    );
+    assert!(
+        get.max_ms <= plan.worst_get_latency_ms + 20.0,
+        "simulated GET max {} vs predicted worst case {}",
+        get.max_ms,
+        plan.worst_get_latency_ms
+    );
+    // And therefore the SLO is met.
+    assert_eq!(report.slo_violations(spec.slo_get_ms, Some(OpKind::Get)), 0);
+    assert_eq!(report.slo_violations(spec.slo_put_ms, Some(OpKind::Put)), 0);
+}
+
+#[test]
+fn metered_cost_ranks_plans_like_the_cost_model() {
+    // For a read-heavy workload the cost model says CAS is cheaper than ABD on the network;
+    // the simulator's byte-level metering must agree on the ranking.
+    let spec = spec_for(ClientDistribution::Tokyo, 0.97, 1000.0);
+    let optimizer = Optimizer::new(CloudModel::gcp9());
+    let abd = optimizer
+        .optimize_filtered(&spec, ProtocolFilter::AbdOnly)
+        .expect("ABD feasible");
+    let cas = optimizer
+        .optimize_filtered(&spec, ProtocolFilter::CasOnly)
+        .expect("CAS feasible");
+    let abd_report = sim_workload(&abd, &spec, 30_000.0, 5);
+    let cas_report = sim_workload(&cas, &spec, 30_000.0, 5);
+    assert!(
+        cas_report.cost.total() < abd_report.cost.total(),
+        "CAS metered ${} vs ABD metered ${}",
+        cas_report.cost.total(),
+        abd_report.cost.total()
+    );
+    // Model-level ordering agrees.
+    assert!(
+        cas.cost.get_network + cas.cost.put_network
+            < abd.cost.get_network + abd.cost.put_network
+    );
+}
+
+#[test]
+fn headline_findings_hold_end_to_end() {
+    let model = CloudModel::gcp9();
+    let optimizer = Optimizer::new(model.clone());
+
+    // (1) With a relaxed SLO, read-heavy workloads choose erasure coding.
+    let relaxed = spec_for(ClientDistribution::Tokyo, 30.0 / 31.0, 1000.0);
+    let plan = optimizer.optimize(&relaxed).unwrap();
+    assert_eq!(plan.config.protocol, ProtocolKind::Cas);
+
+    // (2) With a stringent SLO and spread-out users, CAS becomes infeasible but ABD copes.
+    let stringent = spec_for(ClientDistribution::SydneyTokyo, 0.5, 200.0);
+    assert!(optimizer
+        .optimize_filtered(&stringent, ProtocolFilter::CasOnly)
+        .is_none());
+    assert!(optimizer
+        .optimize_filtered(&stringent, ProtocolFilter::AbdOnly)
+        .is_some());
+
+    // (3) The optimizer never loses to any baseline.
+    let workload = spec_for(ClientDistribution::SydneySingapore, 0.5, 1000.0);
+    let best = optimizer.optimize(&workload).unwrap();
+    for b in Baseline::ALL {
+        if let Some(p) = evaluate_baseline(&model, &workload, b) {
+            assert!(best.total_cost() <= p.total_cost() + 1e-9, "{}", b.label());
+        }
+    }
+
+    // (4) Write-heavy small objects at high arrival rates prefer ABD even at relaxed SLOs
+    //     (§4.2.3 / Figure 2(a): HW, 1 KB, 500 req/s).
+    let mut hw = spec_for(ClientDistribution::Tokyo, 1.0 / 31.0, 1000.0);
+    hw.arrival_rate = 500.0;
+    hw.total_data_bytes = 100 * 1_000_000_000;
+    let hw_plan = optimizer.optimize(&hw).unwrap();
+    assert_eq!(hw_plan.config.protocol, ProtocolKind::Abd);
+}
+
+#[test]
+fn failed_dc_is_excluded_by_a_follow_up_optimization() {
+    // §4.5: after a DC failure the optimizer recomputes a configuration that avoids the
+    // failed DC, and the store transitions to it.
+    let model = CloudModel::gcp9();
+    let spec = spec_for(ClientDistribution::SydneyTokyo, 0.5, 1000.0);
+    let original = Optimizer::new(model.clone()).optimize(&spec).unwrap();
+    let victim = original.config.dcs[0];
+    let replanned = Optimizer::with_options(
+        model.clone(),
+        SearchOptions {
+            excluded_dcs: vec![victim],
+            ..Default::default()
+        },
+    )
+    .optimize(&spec)
+    .expect("still feasible with one DC excluded");
+    assert!(!replanned.config.dcs.contains(&victim));
+
+    // Execute the transition in the simulator with the victim actually failed.
+    let mut sim = Simulation::new(model);
+    sim.create_key("k", original.config.clone(), &Value::filler(1024));
+    let mut gen = TraceGenerator::new(spec.clone(), 1, 3);
+    sim.schedule_trace(&gen.generate(20_000.0), 0.0, |_| "k".to_string());
+    sim.schedule_failure(5_000.0, victim);
+    sim.schedule_reconfig(8_000.0, "k", replanned.config.clone());
+    let report = sim.run();
+    assert_eq!(report.reconfig_durations_ms.len(), 1);
+    assert_eq!(report.failures(), 0, "operations must survive failure + reconfiguration");
+}
+
+#[test]
+fn wikipedia_pipeline_produces_savings() {
+    // A miniature version of §4.6: synthesize Wikipedia-like keys, optimize each, and check
+    // the optimizer saves cost against the latency-oriented baseline in aggregate.
+    let model = CloudModel::gcp9();
+    let params = legostore::workload::wikipedia::WikipediaParams {
+        num_keys: 25,
+        ..Default::default()
+    };
+    let keys = legostore::workload::synthesize_wikipedia(&model, &params, 3);
+    let optimizer = Optimizer::new(model.clone());
+    let mut optimal_total = 0.0;
+    let mut nearest_total = 0.0;
+    for key in &keys {
+        let plan = optimizer.optimize(&key.t1).expect("feasible at 750 ms");
+        optimal_total += plan.total_cost();
+        if let Some(nearest) = evaluate_baseline(&model, &key.t1, Baseline::CasNearest) {
+            nearest_total += nearest.total_cost();
+        }
+    }
+    assert!(optimal_total > 0.0);
+    assert!(
+        optimal_total <= nearest_total,
+        "optimizer ${optimal_total} vs nearest ${nearest_total}"
+    );
+}
