@@ -15,6 +15,7 @@ use legostore_workload::{
 };
 
 /// Builds a workload spec against the gcp9 model with the given knobs.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's workload-feature vector
 pub fn spec(
     model: &CloudModel,
     dist: ClientDistribution,

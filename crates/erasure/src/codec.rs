@@ -205,7 +205,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn random_data(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -237,8 +236,8 @@ mod tests {
         let rs = ReedSolomon::new(7, 4).unwrap();
         let data = random_data(4, 53, 2);
         let all = rs.encode(&data).unwrap();
-        for i in 0..7 {
-            assert_eq!(rs.encode_single(&data, i).unwrap(), all[i], "symbol {i}");
+        for (i, symbol) in all.iter().enumerate() {
+            assert_eq!(&rs.encode_single(&data, i).unwrap(), symbol, "symbol {i}");
         }
         assert!(rs.encode_single(&data, 7).is_err());
     }

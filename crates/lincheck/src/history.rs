@@ -172,11 +172,10 @@ impl History {
             }
             let mut advanced = false;
             let mut candidate = None;
-            for i in start..n {
+            for (i, op) in ops.iter().enumerate().skip(start) {
                 if is_set(&linearized, i) {
                     continue;
                 }
-                let op = &ops[i];
                 if op.invoke > min_ret {
                     // ops is sorted by invocation; nothing later can be a candidate either.
                     break;

@@ -80,6 +80,9 @@ impl AsRef<[u8]> for Value {
 /// `Bytes` does not implement serde traits without an extra feature, so we (de)serialize
 /// through `Vec<u8>`. Serialization of values is only used by tooling (dumps, experiment
 /// records), never on the protocol hot path.
+// The offline shim derives don't invoke `with =` helpers, so these are only
+// type-checked until the real serde is swapped in (see shims/README.md).
+#[allow(dead_code)]
 mod serde_bytes_compat {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};

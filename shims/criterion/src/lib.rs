@@ -1,0 +1,140 @@
+//! Minimal API-compatible subset of `criterion` for offline builds.
+//!
+//! Provides the macro/struct surface the workspace's ten bench targets use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `measurement_time`, and
+//! [`black_box`] — with "measurement" reduced to a single timed run printed to
+//! stdout. There are no statistics, plots, or baselines; `cargo bench --no-run`
+//! compiles everything and `cargo bench` completes in one pass per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one closure invocation and prints the result.
+pub struct Bencher {
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once under a wall-clock timer (the real criterion runs it many times).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.last = Some(start.elapsed());
+    }
+}
+
+/// Shim benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks (shim: configuration methods are accepted and ignored).
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim always runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always runs one sample.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher { last: None };
+    f(&mut b);
+    match b.last {
+        Some(d) => println!("bench {id:<50} {d:>12.3?} (single sample, shim criterion)"),
+        None => println!("bench {id:<50} (no b.iter call)"),
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        c.bench_function("unit", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("inner", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

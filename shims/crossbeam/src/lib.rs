@@ -1,0 +1,38 @@
+//! Minimal API-compatible subset of `crossbeam` for offline builds.
+//!
+//! Only `crossbeam::channel`'s unbounded MPSC surface is provided, implemented directly
+//! on `std::sync::mpsc`. The semantics the workspace relies on — `Sender: Clone + Send`,
+//! blocking `recv`, `try_recv`, `recv_timeout`, receiver disconnection on drop of all
+//! senders — hold identically for the std channel. (Crossbeam's `select!` and bounded
+//! channels are not provided; nothing here uses them.)
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7usize).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal API-compatible subset of `serde` for offline builds.
+//!
+//! Provides the four core traits with the method surface this workspace actually
+//! exercises (manual `with = "module"` helpers that serialize byte buffers), plus the
+//! `derive` feature re-exporting the shim derive macros. No type in the workspace
+//! implements [`Serializer`] or [`Deserializer`], so serialization is type-checked but
+//! never executed — exactly what an offline build needs.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data-format serializer (shim: enough surface for manual impls to type-check).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Serialize a byte buffer.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserializer (shim: enough surface for manual impls to type-check).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error;
+
+    /// Deserialize an owned byte buffer.
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+    /// Deserialize a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    /// Deserialize an `f64`.
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+    /// Deserialize a `bool`.
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+    /// Deserialize an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for [u8] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_f64()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The derive macros accept the same invocation sites as the real crate — including
+//! `#[serde(...)]` helper attributes on the type and its fields — but expand to nothing.
+//! Nothing in this workspace serializes through serde today (there is no serde_json or
+//! bincode in the dependency tree), so trait impls are not required for any bound; the
+//! derives keep the data model annotated and ready for the real serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with `#[serde(...)]` helper attributes) and expands
+/// to nothing; see the crate docs for why that is sufficient offline.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with `#[serde(...)]` helper attributes) and expands
+/// to nothing; see the crate docs for why that is sufficient offline.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
