@@ -8,9 +8,9 @@
 //! after refreshing metadata) and data-center failures (timeout, widen the quorum to the
 //! full placement, retry).
 
+use crate::clock::ClockedReceiver;
 use crate::cluster::{ClusterInner, ControlMsg, ReplyEnvelope};
 use crate::inbox::DelayedInbox;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use legostore_lincheck::recorder::fingerprint;
 use legostore_proto::msg::{OpOutcome, OpProgress, Outbound, ProtoReply};
 use legostore_proto::server::{DcServer, Inbound};
@@ -21,7 +21,6 @@ use legostore_types::{
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 /// One protocol operation in flight.
 enum ClientOp {
@@ -71,8 +70,6 @@ pub struct StoreClient {
     cluster: Arc<ClusterInner>,
     dc: DcId,
     client_id: ClientId,
-    reply_tx: Sender<ReplyEnvelope>,
-    reply_rx: Receiver<ReplyEnvelope>,
     /// Local view of key configurations (refreshed on redirects).
     view: HashMap<Key, Configuration>,
     /// Client-side cache used by the CAS optimized GET.
@@ -83,14 +80,11 @@ pub struct StoreClient {
 
 impl StoreClient {
     pub(crate) fn new(cluster: Arc<ClusterInner>, dc: DcId) -> StoreClient {
-        let (reply_tx, reply_rx) = unbounded();
         let client_id = ClientId(cluster.next_client_id.fetch_add(1, Ordering::Relaxed));
         StoreClient {
             cluster,
             dc,
             client_id,
-            reply_tx,
-            reply_rx,
             view: HashMap::new(),
             cas_cache: HashMap::new(),
             stats: ClientStats::default(),
@@ -273,6 +267,10 @@ impl StoreClient {
         let mut widen = false;
         let max_attempts = self.cluster.options.max_attempts.max(1);
         let mut last_error = StoreError::QuorumTimeout { needed: 0, received: 0 };
+        let clock = self.cluster.clock().clone();
+        // Register with the clock for the whole operation: a virtual clock must not jump
+        // ahead while this thread is between sends and waits.
+        let _participant = clock.enter();
         for _attempt in 0..max_attempts {
             let mut effective = config.clone();
             if widen {
@@ -285,9 +283,19 @@ impl StoreClient {
             }
             let mut op = self.build_op(key, kind, &effective, value.as_ref());
             let endpoint = self.cluster.next_endpoint.fetch_add(1, Ordering::Relaxed);
-            let deadline = Instant::now() + self.cluster.options.op_timeout;
+            let deadline_ns =
+                clock.now_ns() + self.cluster.options.op_timeout.as_nanos() as u64;
+            // A fresh reply channel per attempt: dropping it at the end of the attempt
+            // disconnects and drains it, so replies that straggle in after a timeout or a
+            // reconfiguration redirect are discarded at the source (and cannot hold a
+            // virtual clock back).
+            let (reply_tx, reply_rx) = clock.channel::<ReplyEnvelope>();
             let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
             let mut outbound = op.start();
+            // Metadata round trip owed after a reconfiguration redirect; slept only once
+            // the attempt's reply channel is closed (a bare sleep with an open channel
+            // could strand straggler replies and stall a virtual clock).
+            let mut metadata_pause = None;
             loop {
                 for out in outbound.drain(..) {
                     let inbound = Inbound {
@@ -298,10 +306,10 @@ impl StoreClient {
                         epoch: out.epoch,
                         msg: out.msg.clone(),
                     };
-                    self.cluster.send_request(out.to, self.reply_tx.clone(), inbound)?;
+                    self.cluster.send_request(out.to, reply_tx.clone(), inbound)?;
                 }
                 // Wait for the next reply (or the attempt deadline).
-                let env = match self.wait_for_reply(endpoint, &mut inbox, deadline) {
+                let env = match self.wait_for_reply(endpoint, &reply_rx, &mut inbox, deadline_ns) {
                     Some(env) => env,
                     None => break, // timeout: widen and retry
                 };
@@ -323,12 +331,11 @@ impl StoreClient {
                             // Fetch the new configuration (modeled as a metadata round trip
                             // to the controller DC) and retry against it.
                             self.stats.reconfig_restarts += 1;
-                            let delay = self.cluster.reply_delay(
+                            metadata_pause = Some(self.cluster.reply_delay(
                                 self.dc,
                                 self.cluster.options.controller_dc,
                                 self.cluster.options.metadata_bytes,
-                            );
-                            std::thread::sleep(delay);
+                            ));
                             config = (*new_config).clone();
                             self.view.insert(key.clone(), config.clone());
                             last_error = StoreError::OperationFailedByReconfig {
@@ -346,6 +353,13 @@ impl StoreClient {
                     },
                 }
             }
+            // The attempt is over: close its reply channel (discarding any stragglers)
+            // before pausing for the modeled metadata fetch.
+            drop(reply_rx);
+            drop(reply_tx);
+            if let Some(delay) = metadata_pause {
+                clock.sleep(delay);
+            }
             // The attempt ended without completing: refresh the view (it may have changed)
             // and widen the quorum for the next attempt.
             if let Ok(fresh) = self.refresh_view(key) {
@@ -362,50 +376,53 @@ impl StoreClient {
         Err(last_error)
     }
 
-    /// Waits for the next reply addressed to `endpoint`, honoring modeled network delays.
+    /// Buffers `env` in `inbox` at its modeled arrival instant.
+    fn buffer_reply(&self, inbox: &mut DelayedInbox<ReplyEnvelope>, env: ReplyEnvelope) {
+        self.cluster.buffer_reply(self.dc, inbox, env);
+    }
+
+    /// Waits for the next reply addressed to `endpoint` on this attempt's channel,
+    /// honoring modeled network delays. `deadline_ns` is a
+    /// [`Clock::now_ns`](crate::clock::Clock::now_ns) timestamp. All parking happens in
+    /// channel waits (never in a bare clock sleep), so replies keep being drained into
+    /// the inbox while we wait for the earliest one.
     fn wait_for_reply(
         &mut self,
         endpoint: u64,
+        reply_rx: &ClockedReceiver<ReplyEnvelope>,
         inbox: &mut DelayedInbox<ReplyEnvelope>,
-        deadline: Instant,
+        deadline_ns: u64,
     ) -> Option<ReplyEnvelope> {
+        let clock = self.cluster.clock().clone();
         loop {
-            // Drain anything already on the channel into the delayed inbox.
-            while let Ok(env) = self.reply_rx.try_recv() {
+            // Drain anything already on the channel into the delayed inbox. The channel
+            // is per-attempt so every envelope should match `endpoint`; the filter stays
+            // as a guard against routing mix-ups.
+            while let Ok(env) = reply_rx.try_recv() {
                 if env.endpoint == endpoint {
-                    let delay = self.cluster.reply_delay(
-                        self.dc,
-                        env.from,
-                        env.reply.wire_size(self.cluster.options.metadata_bytes),
-                    );
-                    inbox.push(env.sent_at, delay, env);
+                    self.buffer_reply(inbox, env);
                 }
             }
-            if let Some(env) = inbox.next_ready(deadline) {
+            if let Some(env) = inbox.pop_ready(clock.now_ns()) {
                 return Some(env);
             }
-            let now = Instant::now();
-            if now >= deadline {
+            if clock.now_ns() >= deadline_ns {
                 return None;
             }
-            let wake = inbox.next_available_at().unwrap_or(deadline).min(deadline);
-            let timeout = wake
-                .checked_duration_since(now)
-                .unwrap_or(Duration::ZERO)
-                .max(Duration::from_micros(50));
-            match self.reply_rx.recv_timeout(timeout) {
+            let wake_ns = inbox
+                .next_available_at()
+                .unwrap_or(deadline_ns)
+                .min(deadline_ns);
+            match reply_rx.recv_deadline_ns(wake_ns) {
                 Ok(env) => {
                     if env.endpoint == endpoint {
-                        let delay = self.cluster.reply_delay(
-                            self.dc,
-                            env.from,
-                            env.reply.wire_size(self.cluster.options.metadata_bytes),
-                        );
-                        inbox.push(env.sent_at, delay, env);
+                        self.buffer_reply(inbox, env);
                     }
                 }
                 Err(_) => {
-                    if Instant::now() >= deadline && inbox.next_available_at().map(|t| t > deadline).unwrap_or(true) {
+                    if clock.now_ns() >= deadline_ns
+                        && inbox.next_available_at().map(|t| t > deadline_ns).unwrap_or(true)
+                    {
                         return None;
                     }
                 }
@@ -417,13 +434,16 @@ impl StoreClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::Clock;
     use crate::cluster::{Cluster, ClusterOptions};
     use legostore_cloud::GcpLocation;
+    use std::time::Duration;
 
     fn fast_cluster() -> Cluster {
         Cluster::gcp9(ClusterOptions {
             latency_scale: 0.002,
             op_timeout: Duration::from_millis(250),
+            clock: Clock::virtual_time(),
             ..Default::default()
         })
     }

@@ -1,8 +1,8 @@
 //! The in-process deployment: per-DC server threads, the metadata service and the
 //! reconfiguration controller.
 
+use crate::clock::{Clock, ClockedReceiver, ClockedSender};
 use crate::inbox::DelayedInbox;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use legostore_cloud::CloudModel;
 use legostore_lincheck::HistoryRecorder;
 use legostore_proto::msg::{ProtoReply, ReconfigPayload};
@@ -16,7 +16,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Upper bound on a server's reply-routing table; crossing it triggers an eviction of the
+/// least-recently-seen half (see [`evict_stale_routes`]).
+const MAX_REPLY_ROUTES: usize = 100_000;
 
 /// Tunables of an in-process deployment.
 #[derive(Debug, Clone)]
@@ -26,7 +30,7 @@ pub struct ClusterOptions {
     pub latency_scale: f64,
     /// Metadata bytes per message (`o_m`).
     pub metadata_bytes: u64,
-    /// Per-attempt operation timeout in *scaled* wall-clock time.
+    /// Per-attempt operation timeout in *scaled* clock time.
     pub op_timeout: Duration,
     /// Maximum operation attempts (initial + retries) before giving up.
     pub max_attempts: u32,
@@ -36,6 +40,10 @@ pub struct ClusterOptions {
     pub default_fault_tolerance: usize,
     /// Whether GETs use the optimized one-phase fast paths.
     pub optimized_get: bool,
+    /// Time source shared by every component of the deployment. Defaults to real
+    /// (wall-clock) time; [`Clock::virtual_time`] runs the same protocols on logical time,
+    /// collapsing modeled RTT waits to microseconds and making timestamps deterministic.
+    pub clock: Clock,
 }
 
 impl Default for ClusterOptions {
@@ -48,6 +56,7 @@ impl Default for ClusterOptions {
             controller_dc: DcId(7),
             default_fault_tolerance: 1,
             optimized_get: true,
+            clock: Clock::real(),
         }
     }
 }
@@ -59,8 +68,8 @@ pub(crate) struct ReplyEnvelope {
     pub endpoint: u64,
     /// Server data center that produced the reply.
     pub from: DcId,
-    /// Instant the server emitted the reply.
-    pub sent_at: Instant,
+    /// Clock timestamp ([`Clock::now_ns`]) at which the server emitted the reply.
+    pub sent_at_ns: u64,
     /// Echoed protocol phase.
     pub phase: u8,
     /// Reply body.
@@ -81,7 +90,7 @@ pub(crate) enum ControlMsg {
 
 pub(crate) enum ServerMsg {
     Request {
-        reply_to: Sender<ReplyEnvelope>,
+        reply_to: ClockedSender<ReplyEnvelope>,
         inbound: Inbound,
     },
     Control(ControlMsg),
@@ -91,18 +100,22 @@ pub(crate) enum ServerMsg {
 pub(crate) struct ClusterInner {
     pub(crate) model: CloudModel,
     pub(crate) options: ClusterOptions,
-    pub(crate) senders: HashMap<DcId, Sender<ServerMsg>>,
+    pub(crate) senders: HashMap<DcId, ClockedSender<ServerMsg>>,
     pub(crate) metadata: Mutex<HashMap<Key, Configuration>>,
     pub(crate) recorder: Arc<HistoryRecorder>,
-    pub(crate) epoch: Instant,
     pub(crate) next_client_id: AtomicU32,
     pub(crate) next_endpoint: AtomicU64,
 }
 
 impl ClusterInner {
-    /// Nanoseconds since the cluster started (used as linearizability-check timestamps).
+    /// The deployment's shared time source.
+    pub(crate) fn clock(&self) -> &Clock {
+        &self.options.clock
+    }
+
+    /// Nanoseconds since the clock's epoch (used as linearizability-check timestamps).
     pub(crate) fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        self.clock().now_ns()
     }
 
     /// One-way + return delay the client should wait before consuming a reply from `from`.
@@ -112,10 +125,21 @@ impl ClusterInner {
         Duration::from_secs_f64(ms * self.options.latency_scale / 1000.0)
     }
 
+    /// Buffers `env` in `inbox` at its modeled arrival instant for a consumer at `at`.
+    pub(crate) fn buffer_reply(
+        &self,
+        at: DcId,
+        inbox: &mut DelayedInbox<ReplyEnvelope>,
+        env: ReplyEnvelope,
+    ) {
+        let delay = self.reply_delay(at, env.from, env.reply.wire_size(self.options.metadata_bytes));
+        inbox.push(env.sent_at_ns, delay, env);
+    }
+
     pub(crate) fn send_request(
         &self,
         to: DcId,
-        reply_to: Sender<ReplyEnvelope>,
+        reply_to: ClockedSender<ReplyEnvelope>,
         inbound: Inbound,
     ) -> StoreResult<()> {
         let sender = self
@@ -143,10 +167,11 @@ pub struct Cluster {
 impl Cluster {
     /// Spawns one server thread per data center of `model`.
     pub fn new(model: CloudModel, options: ClusterOptions) -> Cluster {
+        let clock = options.clock.clone();
         let mut senders = HashMap::new();
-        let mut receivers: Vec<(DcId, Receiver<ServerMsg>)> = Vec::new();
+        let mut receivers: Vec<(DcId, ClockedReceiver<ServerMsg>)> = Vec::new();
         for dc in model.dc_ids() {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = clock.channel();
             senders.insert(dc, tx);
             receivers.push((dc, rx));
         }
@@ -156,16 +181,16 @@ impl Cluster {
             senders,
             metadata: Mutex::new(HashMap::new()),
             recorder: Arc::new(HistoryRecorder::new()),
-            epoch: Instant::now(),
             next_client_id: AtomicU32::new(1),
             next_endpoint: AtomicU64::new(1),
         });
         let handles = receivers
             .into_iter()
             .map(|(dc, rx)| {
+                let clock = clock.clone();
                 std::thread::Builder::new()
                     .name(format!("legostore-server-{dc}"))
-                    .spawn(move || server_loop(dc, rx))
+                    .spawn(move || server_loop(dc, rx, clock))
                     .expect("spawn server thread")
             })
             .collect();
@@ -258,21 +283,24 @@ impl Cluster {
 
     /// Runs the reconfiguration protocol, moving `key` to `new_config`.
     ///
-    /// Returns the wall-clock duration of the transfer (query → write → metadata update →
-    /// finish), which the paper reports as sub-second at real geo latencies.
+    /// Returns the clock-time duration of the transfer (query → write → metadata update →
+    /// finish), which the paper reports as sub-second at real geo latencies. Under a
+    /// virtual clock this is the modeled duration, independent of scheduler jitter.
     pub fn reconfigure(&self, key: impl Into<Key>, new_config: Configuration) -> StoreResult<Duration> {
         let key = key.into();
         let old = self
             .metadata_config(&key)
             .ok_or_else(|| StoreError::KeyNotFound(key.clone()))?;
-        let started = Instant::now();
+        let clock = self.inner.clock().clone();
+        let _participant = clock.enter();
+        let started_ns = clock.now_ns();
         let controller_dc = self.inner.options.controller_dc;
         let mut controller = ReconfigController::new(key.clone(), old, new_config);
-        let (tx, rx) = unbounded::<ReplyEnvelope>();
+        let (tx, rx) = clock.channel::<ReplyEnvelope>();
         let endpoint = self.inner.next_endpoint.fetch_add(1, Ordering::Relaxed);
         let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
         let mut outbound = controller.start();
-        let deadline = Instant::now() + self.inner.options.op_timeout * 8;
+        let deadline_ns = started_ns + (self.inner.options.op_timeout * 8).as_nanos() as u64;
         let outcome = loop {
             for out in outbound.drain(..) {
                 let inbound = Inbound {
@@ -285,16 +313,15 @@ impl Cluster {
                 };
                 self.inner.send_request(out.to, tx.clone(), inbound)?;
             }
-            // Collect replies until the controller advances.
+            // Collect replies until the controller advances. All parking happens in
+            // channel waits so arriving replies keep being drained (a bare clock sleep
+            // would leave them undelivered and stall a virtual clock).
             let mut progressed = None;
             while progressed.is_none() {
                 while let Ok(env) = rx.try_recv() {
-                    let delay = self
-                        .inner
-                        .reply_delay(controller_dc, env.from, env.reply.wire_size(self.inner.options.metadata_bytes));
-                    inbox.push(env.sent_at, delay, env);
+                    self.inner.buffer_reply(controller_dc, &mut inbox, env);
                 }
-                if let Some(env) = inbox.next_ready(deadline) {
+                if let Some(env) = inbox.pop_ready(clock.now_ns()) {
                     match controller.on_reply(env.from, env.phase, env.reply) {
                         ControllerProgress::Pending => {}
                         ControllerProgress::Send(msgs) => progressed = Some(Ok(msgs)),
@@ -302,25 +329,19 @@ impl Cluster {
                     }
                     continue;
                 }
-                let wake = inbox
+                let wake_ns = inbox
                     .next_available_at()
-                    .unwrap_or(deadline)
-                    .min(deadline);
-                let now = Instant::now();
-                if now >= deadline {
+                    .unwrap_or(deadline_ns)
+                    .min(deadline_ns);
+                if clock.now_ns() >= deadline_ns {
                     return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
                 }
-                match rx.recv_timeout(wake.saturating_duration_since(now).max(Duration::from_micros(50))) {
+                match rx.recv_deadline_ns(wake_ns) {
                     Ok(env) => {
-                        let delay = self.inner.reply_delay(
-                            controller_dc,
-                            env.from,
-                            env.reply.wire_size(self.inner.options.metadata_bytes),
-                        );
-                        inbox.push(env.sent_at, delay, env);
+                        self.inner.buffer_reply(controller_dc, &mut inbox, env);
                     }
                     Err(_) => {
-                        if Instant::now() >= deadline {
+                        if clock.now_ns() >= deadline_ns {
                             return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
                         }
                     }
@@ -347,7 +368,7 @@ impl Cluster {
             };
             self.inner.send_request(out.to, tx.clone(), inbound)?;
         }
-        Ok(started.elapsed())
+        Ok(Duration::from_nanos(clock.now_ns() - started_ns))
     }
 
     /// Shuts the deployment down, joining every server thread.
@@ -371,11 +392,31 @@ impl Drop for Cluster {
     }
 }
 
+/// Drops the least-recently-seen reply routes until only `keep` remain.
+///
+/// `routes` maps an endpoint id to its reply channel plus the per-server message counter
+/// value at which the endpoint last sent a request. Endpoints with recent activity are the
+/// ones that may still receive (possibly deferred) replies; evicting only the stale tail —
+/// instead of clearing the whole table — keeps live operations routable.
+fn evict_stale_routes<T>(routes: &mut HashMap<u64, (T, u64)>, keep: usize) {
+    if routes.len() <= keep {
+        return;
+    }
+    let mut stamps: Vec<u64> = routes.values().map(|(_, seen)| *seen).collect();
+    stamps.sort_unstable();
+    // Stamps are unique (one per inserted request), so this keeps exactly `keep` entries.
+    let cutoff = stamps[stamps.len() - keep];
+    routes.retain(|_, (_, seen)| *seen >= cutoff);
+}
+
 /// The per-DC server thread: dispatches protocol messages to the shared `DcServer` state and
 /// routes replies back to the endpoint that sent each (possibly deferred) request.
-fn server_loop(dc: DcId, rx: Receiver<ServerMsg>) {
+fn server_loop(dc: DcId, rx: ClockedReceiver<ServerMsg>, clock: Clock) {
+    let _participant = clock.enter();
     let mut server = DcServer::new(dc);
-    let mut reply_routes: HashMap<u64, Sender<ReplyEnvelope>> = HashMap::new();
+    // endpoint → (reply channel, message counter at last request from that endpoint).
+    let mut reply_routes: HashMap<u64, (ClockedSender<ReplyEnvelope>, u64)> = HashMap::new();
+    let mut msg_counter: u64 = 0;
     while let Ok(msg) = rx.recv() {
         match msg {
             ServerMsg::Shutdown => break,
@@ -395,19 +436,22 @@ fn server_loop(dc: DcId, rx: Receiver<ServerMsg>) {
                 }
             },
             ServerMsg::Request { reply_to, inbound } => {
-                reply_routes.insert(inbound.from, reply_to);
-                // Bound the routing table: drop entries far older than any plausible
-                // in-flight operation.
-                if reply_routes.len() > 100_000 {
-                    reply_routes.clear();
+                msg_counter += 1;
+                reply_routes.insert(inbound.from, (reply_to, msg_counter));
+                // Bound the routing table. Evicting only the least-recently-seen half (not
+                // the whole table) keeps routes of in-flight operations alive: a deferred
+                // request may be answered long after it arrived, when a FinishReconfig
+                // flushes it.
+                if reply_routes.len() > MAX_REPLY_ROUTES {
+                    evict_stale_routes(&mut reply_routes, MAX_REPLY_ROUTES / 2);
                 }
                 let replies = server.handle(inbound);
                 for r in replies {
-                    if let Some(route) = reply_routes.get(&r.to) {
+                    if let Some((route, _)) = reply_routes.get(&r.to) {
                         let _ = route.send(ReplyEnvelope {
                             endpoint: r.to,
                             from: dc,
-                            sent_at: Instant::now(),
+                            sent_at_ns: clock.now_ns(),
                             phase: r.phase,
                             reply: r.reply,
                         });
@@ -427,6 +471,7 @@ mod tests {
         ClusterOptions {
             latency_scale: 0.002,
             op_timeout: Duration::from_millis(250),
+            clock: Clock::virtual_time(),
             ..Default::default()
         }
     }
@@ -526,5 +571,44 @@ mod tests {
         cluster.recover_dc(GcpLocation::LosAngeles.dc());
         assert_eq!(client.get(&Key::from("k")).unwrap(), Value::from("v2"));
         cluster.shutdown();
+    }
+
+    #[test]
+    fn real_clock_smoke_round_trip() {
+        // One end-to-end exercise of the default (wall-clock) time source, so the
+        // RealClock wiring stays covered even though most tests run on virtual time.
+        let cluster = Cluster::gcp9(ClusterOptions {
+            latency_scale: 0.002,
+            op_timeout: Duration::from_millis(250),
+            ..Default::default()
+        });
+        assert!(!cluster.options().clock.is_virtual());
+        let mut client = cluster.client(GcpLocation::Tokyo.dc());
+        let key = Key::from("real-time");
+        client.create(&key, Value::from("wall")).unwrap();
+        assert_eq!(client.get(&key).unwrap(), Value::from("wall"));
+        assert!(cluster.recorder().check_all().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stale_route_eviction_keeps_recent_endpoints() {
+        let mut routes: HashMap<u64, ((), u64)> = HashMap::new();
+        for endpoint in 0..100u64 {
+            routes.insert(endpoint, ((), endpoint + 1)); // stamp = insertion order
+        }
+        // Endpoint 3 sends a fresh request much later: its stamp is refreshed.
+        routes.insert(3, ((), 101));
+        evict_stale_routes(&mut routes, 10);
+        assert_eq!(routes.len(), 10);
+        assert!(routes.contains_key(&3), "recently active endpoint must survive");
+        for endpoint in 92..100u64 {
+            assert!(routes.contains_key(&endpoint), "endpoint {endpoint} is recent");
+        }
+        assert!(!routes.contains_key(&0), "stale endpoint must be evicted");
+        // Under the threshold nothing happens.
+        let before: Vec<u64> = routes.keys().copied().collect();
+        evict_stale_routes(&mut routes, 10);
+        assert_eq!(routes.len(), before.len());
     }
 }

@@ -19,10 +19,16 @@
 //!   the live deployment.
 //! * [`Cluster::recorder`] — the operation history recorder whose per-key histories can be
 //!   checked for linearizability with `legostore-lincheck`.
+//! * [`Clock`] — the deployment's time source: real wall-clock time (the default) or a
+//!   shared virtual clock that collapses the modeled RTT waits to microseconds.
+
+#![warn(missing_docs)]
 
 pub mod client;
+pub mod clock;
 pub mod cluster;
 pub mod inbox;
 
 pub use client::StoreClient;
+pub use clock::Clock;
 pub use cluster::{Cluster, ClusterOptions};

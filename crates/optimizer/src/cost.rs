@@ -292,13 +292,13 @@ mod tests {
         let q2 = config.quorum_for(DcId(0), QuorumId::Q2);
         let q3 = config.quorum_for(DcId(0), QuorumId::Q3);
         let mut per_put = 0.0;
-        for j in &q1 {
+        for j in q1 {
             per_put += 100.0 * p(j.index(), 0);
         }
-        for j in &q3 {
+        for j in q3 {
             per_put += 100.0 * p(0, j.index());
         }
-        for j in &q2 {
+        for j in q2 {
             per_put += (1000.0 / 3.0) * p(0, j.index());
         }
         let expected = 50.0 * per_put * 3600.0;

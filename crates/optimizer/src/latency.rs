@@ -42,18 +42,18 @@ pub fn get_latency_ms(
         ProtocolKind::Abd => {
             // Phase 1: query goes out (metadata), tag+value come back.
             let q1 = config.quorum_for(client, QuorumId::Q1);
-            let p1 = phase_latency_ms(model, client, &q1, om, om + og);
+            let p1 = phase_latency_ms(model, client, q1, om, om + og);
             // Phase 2: write-back ships the value, ack returns.
             let q2 = config.quorum_for(client, QuorumId::Q2);
-            let p2 = phase_latency_ms(model, client, &q2, om + og, om);
+            let p2 = phase_latency_ms(model, client, q2, om + og, om);
             p1 + p2
         }
         ProtocolKind::Cas => {
             let symbol = og / config.k as u64;
             let q1 = config.quorum_for(client, QuorumId::Q1);
-            let p1 = phase_latency_ms(model, client, &q1, om, om);
+            let p1 = phase_latency_ms(model, client, q1, om, om);
             let q4 = config.quorum_for(client, QuorumId::Q4);
-            let p2 = phase_latency_ms(model, client, &q4, om, om + symbol);
+            let p2 = phase_latency_ms(model, client, q4, om, om + symbol);
             p1 + p2
         }
     }
@@ -71,19 +71,19 @@ pub fn put_latency_ms(
     match config.protocol {
         ProtocolKind::Abd => {
             let q1 = config.quorum_for(client, QuorumId::Q1);
-            let p1 = phase_latency_ms(model, client, &q1, om, om);
+            let p1 = phase_latency_ms(model, client, q1, om, om);
             let q2 = config.quorum_for(client, QuorumId::Q2);
-            let p2 = phase_latency_ms(model, client, &q2, om + og, om);
+            let p2 = phase_latency_ms(model, client, q2, om + og, om);
             p1 + p2
         }
         ProtocolKind::Cas => {
             let symbol = og / config.k as u64;
             let q1 = config.quorum_for(client, QuorumId::Q1);
-            let p1 = phase_latency_ms(model, client, &q1, om, om);
+            let p1 = phase_latency_ms(model, client, q1, om, om);
             let q2 = config.quorum_for(client, QuorumId::Q2);
-            let p2 = phase_latency_ms(model, client, &q2, om + symbol, om);
+            let p2 = phase_latency_ms(model, client, q2, om + symbol, om);
             let q3 = config.quorum_for(client, QuorumId::Q3);
-            let p3 = phase_latency_ms(model, client, &q3, om, om);
+            let p3 = phase_latency_ms(model, client, q3, om, om);
             p1 + p2 + p3
         }
     }

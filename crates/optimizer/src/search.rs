@@ -103,14 +103,10 @@ impl Optimizer {
     pub fn optimize_filtered(&self, spec: &WorkloadSpec, filter: ProtocolFilter) -> Option<Plan> {
         let mut best: Option<Plan> = None;
         if matches!(filter, ProtocolFilter::Any | ProtocolFilter::AbdOnly) {
-            for plan in self.enumerate_abd(spec) {
-                best = Self::better(self.options.objective, best, plan);
-            }
+            best = self.enumerate_abd(spec, best);
         }
         if matches!(filter, ProtocolFilter::Any | ProtocolFilter::CasOnly) {
-            for plan in self.enumerate_cas(spec) {
-                best = Self::better(self.options.objective, best, plan);
-            }
+            best = self.enumerate_cas(spec, best);
         }
         best
     }
@@ -221,12 +217,13 @@ impl Optimizer {
         pool
     }
 
-    fn enumerate_abd(&self, spec: &WorkloadSpec) -> Vec<Plan> {
+    /// Folds every feasible ABD candidate into `best` (plans are reduced as they are
+    /// produced instead of being collected, since the search only ever needs the winner).
+    fn enumerate_abd(&self, spec: &WorkloadSpec, mut best: Option<Plan>) -> Option<Plan> {
         let f = spec.fault_tolerance;
         let ranked = self.ranked_candidates(spec);
         let d = ranked.len();
         let max_n = self.options.max_n.unwrap_or(d).min(d);
-        let mut plans = Vec::new();
         for n in (f + 1).max(2)..=max_n {
             let pool = self.candidate_pool(spec, &ranked, n);
             for placement in combinations(&pool, n) {
@@ -234,20 +231,20 @@ impl Optimizer {
                     if let Some(plan) =
                         self.evaluate_candidate(spec, ProtocolKind::Abd, 1, &placement, quorums)
                     {
-                        plans.push(plan);
+                        best = Self::better(self.options.objective, best, plan);
                     }
                 }
             }
         }
-        plans
+        best
     }
 
-    fn enumerate_cas(&self, spec: &WorkloadSpec) -> Vec<Plan> {
+    /// Folds every feasible CAS candidate into `best` (see [`Optimizer::enumerate_abd`]).
+    fn enumerate_cas(&self, spec: &WorkloadSpec, mut best: Option<Plan>) -> Option<Plan> {
         let f = spec.fault_tolerance;
         let ranked = self.ranked_candidates(spec);
         let d = ranked.len();
         let max_n = self.options.max_n.unwrap_or(d).min(d);
-        let mut plans = Vec::new();
         for k in 1..=d.saturating_sub(2 * f) {
             if let Some(fixed) = self.options.fixed_k {
                 if k != fixed {
@@ -261,13 +258,13 @@ impl Optimizer {
                         if let Some(plan) =
                             self.evaluate_candidate(spec, ProtocolKind::Cas, k, &placement, quorums)
                         {
-                            plans.push(plan);
+                            best = Self::better(self.options.objective, best, plan);
                         }
                     }
                 }
             }
         }
-        plans
+        best
     }
 
     /// Evaluates one fully parameterized candidate, filling per-client quorums greedily and
@@ -301,13 +298,7 @@ impl Optimizer {
             if *frac <= 0.0 {
                 continue;
             }
-            let chosen = self.fill_quorums_for_client(spec, &config, *client, quorum_count)?;
-            config.preferred_quorums.insert(*client, chosen);
-            let g = get_latency_ms(&self.model, spec, &config, *client);
-            let p = put_latency_ms(&self.model, spec, &config, *client);
-            if g > spec.slo_get_ms || p > spec.slo_put_ms {
-                return None;
-            }
+            let (g, p) = self.fill_quorums_for_client(spec, &mut config, *client, quorum_count)?;
             worst_get = worst_get.max(g);
             worst_put = worst_put.max(p);
         }
@@ -322,15 +313,16 @@ impl Optimizer {
 
     /// Chooses, for one client location, the members of each quorum: cheapest-first under
     /// the cost objective (retrying nearest-first if that breaks the SLO), nearest-first
-    /// under the latency objective. Returns `None` if even the nearest-first choice misses
-    /// the SLO.
+    /// under the latency objective. On success the winning choice is left installed in
+    /// `config.preferred_quorums` and the client's (GET, PUT) worst-case latencies are
+    /// returned; `None` means even the nearest-first choice misses the SLO.
     fn fill_quorums_for_client(
         &self,
         spec: &WorkloadSpec,
-        config: &Configuration,
+        config: &mut Configuration,
         client: DcId,
         quorum_count: usize,
-    ) -> Option<Vec<Vec<DcId>>> {
+    ) -> Option<(f64, f64)> {
         let by_price = {
             let mut v = config.dcs.clone();
             v.sort_by(|a, b| {
@@ -374,14 +366,16 @@ impl Optimizer {
             Objective::Latency => vec![build(&by_rtt)],
         };
         for chosen in candidates {
-            let mut trial = config.clone();
-            trial.preferred_quorums.insert(client, chosen.clone());
-            let g = get_latency_ms(&self.model, spec, &trial, client);
-            let p = put_latency_ms(&self.model, spec, &trial, client);
+            // Install the trial choice in place (no clone): the candidate `config` is
+            // either kept with the winning choice or discarded wholesale by the caller.
+            config.preferred_quorums.insert(client, chosen);
+            let g = get_latency_ms(&self.model, spec, config, client);
+            let p = put_latency_ms(&self.model, spec, config, client);
             if g <= spec.slo_get_ms && p <= spec.slo_put_ms {
-                return Some(chosen);
+                return Some((g, p));
             }
         }
+        config.preferred_quorums.remove(&client);
         None
     }
 }

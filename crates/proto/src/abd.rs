@@ -109,7 +109,7 @@ impl AbdPut {
     pub fn start(&self) -> Vec<Outbound> {
         self.config
             .quorum_for(self.client_dc, QuorumId::Q1)
-            .into_iter()
+            .iter().copied()
             .map(|to| Outbound {
                 to,
                 phase: 1,
@@ -138,7 +138,7 @@ impl AbdPut {
                     let msgs = self
                         .config
                         .quorum_for(self.client_dc, QuorumId::Q2)
-                        .into_iter()
+                        .iter().copied()
                         .map(|to| Outbound {
                             to,
                             phase: 2,
@@ -214,10 +214,10 @@ impl AbdGet {
 
     /// Messages for phase 1 (read-query).
     pub fn start(&self) -> Vec<Outbound> {
-        let mut targets = self.config.quorum_for(self.client_dc, QuorumId::Q1);
+        let mut targets = self.config.quorum_for(self.client_dc, QuorumId::Q1).to_vec();
         if self.optimized {
             // Need max(q1, q2) responses; widen the target set with the Q2 preference.
-            for dc in self.config.quorum_for(self.client_dc, QuorumId::Q2) {
+            for &dc in self.config.quorum_for(self.client_dc, QuorumId::Q2) {
                 if !targets.contains(&dc) {
                     targets.push(dc);
                 }
@@ -269,7 +269,7 @@ impl AbdGet {
                     let msgs = self
                         .config
                         .quorum_for(self.client_dc, QuorumId::Q2)
-                        .into_iter()
+                        .iter().copied()
                         .map(|to| Outbound {
                             to,
                             phase: 2,

@@ -183,7 +183,7 @@ impl CasPut {
     pub fn start(&self) -> Vec<Outbound> {
         self.config
             .quorum_for(self.client_dc, QuorumId::Q1)
-            .into_iter()
+            .iter().copied()
             .map(|to| Outbound {
                 to,
                 phase: 1,
@@ -199,7 +199,7 @@ impl CasPut {
             .expect("configuration was validated");
         self.config
             .quorum_for(self.client_dc, QuorumId::Q2)
-            .into_iter()
+            .iter().copied()
             .filter_map(|to| {
                 let idx = self.config.symbol_index(to)?;
                 Some(Outbound {
@@ -219,7 +219,7 @@ impl CasPut {
     fn finalize_messages(&self, tag: Tag) -> Vec<Outbound> {
         self.config
             .quorum_for(self.client_dc, QuorumId::Q3)
-            .into_iter()
+            .iter().copied()
             .map(|to| Outbound {
                 to,
                 phase: 3,
@@ -327,7 +327,7 @@ impl CasGet {
     pub fn start(&self) -> Vec<Outbound> {
         self.config
             .quorum_for(self.client_dc, QuorumId::Q1)
-            .into_iter()
+            .iter().copied()
             .map(|to| Outbound {
                 to,
                 phase: 1,
@@ -342,7 +342,7 @@ impl CasGet {
         let targets = self.config.quorum_for(self.client_dc, QuorumId::Q4);
         self.phase2_targets = targets.len();
         targets
-            .into_iter()
+            .iter().copied()
             .map(|to| Outbound {
                 to,
                 phase: 2,

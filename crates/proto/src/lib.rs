@@ -20,6 +20,8 @@
 //! replies via `on_reply`, servers map one inbound message to zero or more replies. The
 //! hosting runtime is responsible for delivery, timeouts and retries.
 
+#![warn(missing_docs)]
+
 pub mod abd;
 pub mod cas;
 pub mod msg;

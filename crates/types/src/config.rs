@@ -133,23 +133,70 @@ impl QuorumSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigurationError {
     /// The list of hosting data centers does not have `n` distinct entries.
-    PlacementSize { expected: usize, actual: usize },
+    PlacementSize {
+        /// The configured `n`.
+        expected: usize,
+        /// Distinct data centers actually listed.
+        actual: usize,
+    },
     /// A data center appears more than once in the placement.
     DuplicateDc(DcId),
     /// The code dimension is invalid for the protocol (`k != 1` for ABD, `k == 0`, `k > n`).
-    InvalidDimension { n: usize, k: usize },
+    InvalidDimension {
+        /// Placement size.
+        n: usize,
+        /// Offending code dimension.
+        k: usize,
+    },
     /// A quorum size exceeds `n` or is zero.
-    QuorumSizeOutOfRange { quorum: QuorumId, size: usize, n: usize },
+    QuorumSizeOutOfRange {
+        /// Which quorum is out of range.
+        quorum: QuorumId,
+        /// Its configured size.
+        size: usize,
+        /// Placement size bounding it.
+        n: usize,
+    },
     /// A liveness constraint `q_i <= n - f` is violated.
-    LivenessViolated { quorum: QuorumId, size: usize, n: usize, f: usize },
+    LivenessViolated {
+        /// Which quorum violates liveness.
+        quorum: QuorumId,
+        /// Its configured size.
+        size: usize,
+        /// Placement size.
+        n: usize,
+        /// Fault-tolerance target.
+        f: usize,
+    },
     /// A safety (intersection) constraint is violated.
     SafetyViolated(&'static str),
     /// The fault-tolerance bound `n - k >= 2f` (CAS) or `n >= f + 1` (ABD) is violated.
-    FaultToleranceViolated { n: usize, k: usize, f: usize },
+    FaultToleranceViolated {
+        /// Placement size.
+        n: usize,
+        /// Code dimension.
+        k: usize,
+        /// Fault-tolerance target.
+        f: usize,
+    },
     /// A preferred quorum references a DC outside the placement.
-    PreferredQuorumOutsidePlacement { client: DcId, dc: DcId },
+    PreferredQuorumOutsidePlacement {
+        /// Client the preferred quorum belongs to.
+        client: DcId,
+        /// The out-of-placement data center it references.
+        dc: DcId,
+    },
     /// A preferred quorum has the wrong number of members.
-    PreferredQuorumWrongSize { client: DcId, quorum: QuorumId, expected: usize, actual: usize },
+    PreferredQuorumWrongSize {
+        /// Client the preferred quorum belongs to.
+        client: DcId,
+        /// Which quorum has the wrong size.
+        quorum: QuorumId,
+        /// The configured size for that quorum.
+        expected: usize,
+        /// Members actually listed.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigurationError {
@@ -267,16 +314,16 @@ impl Configuration {
     /// otherwise the first `q_i` data centers of the placement are contacted (the paper's
     /// protocols only message a quorum's worth of servers in the common case and widen to
     /// the remaining hosts on timeout, which is the hosting runtime's job).
-    pub fn quorum_for(&self, client: DcId, q: QuorumId) -> Vec<DcId> {
+    pub fn quorum_for(&self, client: DcId, q: QuorumId) -> &[DcId] {
         if let Some(qs) = self.preferred_quorums.get(&client) {
             if let Some(members) = qs.get(q.index()) {
                 if !members.is_empty() {
-                    return members.clone();
+                    return members;
                 }
             }
         }
         let size = self.quorums.size(q).min(self.dcs.len()).max(1);
-        self.dcs[..size].to_vec()
+        &self.dcs[..size]
     }
 
     /// Effective storage blow-up of this configuration: `n` for ABD, `n / k` for CAS.

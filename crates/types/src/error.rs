@@ -16,21 +16,49 @@ pub enum StoreError {
     KeyNotFound(Key),
     /// The operation could not gather a quorum of responses before its deadline; the number
     /// of responses received is attached.
-    QuorumTimeout { needed: usize, received: usize },
+    QuorumTimeout {
+        /// Responses required to complete the protocol phase.
+        needed: usize,
+        /// Responses actually received before the deadline.
+        received: usize,
+    },
     /// More than `f` hosting data centers are unavailable; the operation cannot terminate.
-    TooManyFailures { failed: usize, tolerated: usize },
+    TooManyFailures {
+        /// Data centers observed as unavailable.
+        failed: usize,
+        /// Failures the configuration tolerates (`f`).
+        tolerated: usize,
+    },
     /// The contacted server is running a newer configuration epoch; the client must refresh
     /// its metadata and retry.
-    StaleConfiguration { observed: ConfigEpoch, current: ConfigEpoch },
+    StaleConfiguration {
+        /// Epoch the client's request carried.
+        observed: ConfigEpoch,
+        /// Epoch the server is actually running.
+        current: ConfigEpoch,
+    },
     /// The operation was aborted by a concurrent reconfiguration and must be retried against
     /// the new configuration.
-    OperationFailedByReconfig { new_epoch: ConfigEpoch },
+    OperationFailedByReconfig {
+        /// Epoch of the configuration the key moved to.
+        new_epoch: ConfigEpoch,
+    },
     /// The configuration being installed is invalid.
     InvalidConfiguration(String),
     /// Erasure decoding failed (not enough codeword symbols for the target tag).
-    DecodeFailed { have: usize, need: usize },
+    DecodeFailed {
+        /// Codeword symbols available for the target tag.
+        have: usize,
+        /// Code dimension `k`: symbols required to decode.
+        need: usize,
+    },
     /// A message was addressed to a data center that does not host the key.
-    NotAHost { dc: DcId, key: Key },
+    NotAHost {
+        /// The wrongly addressed data center.
+        dc: DcId,
+        /// The key the message was about.
+        key: Key,
+    },
     /// The local metadata service has no record of the key's configuration and remote
     /// lookups also failed.
     MetadataUnavailable(Key),

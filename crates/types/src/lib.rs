@@ -9,6 +9,8 @@
 //! data-center identifiers, logical tags, values, protocol configurations and the errors
 //! that the public API surfaces. It deliberately contains no protocol logic.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod error;
 pub mod tag;

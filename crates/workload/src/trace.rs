@@ -27,6 +27,11 @@ pub struct Request {
 }
 
 /// Deterministic (seeded) Poisson trace generator.
+///
+/// Reproducibility caveat: the offline build's `StdRng` is a SplitMix64 shim, not the
+/// real `rand` ChaCha12, so a given seed yields a different trace than upstream `rand`
+/// would (stable across runs and platforms, though — the golden fingerprints in
+/// `crates/workload/tests/determinism.rs` pin the exact stream; see `shims/README.md`).
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     spec: WorkloadSpec,

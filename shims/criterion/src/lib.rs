@@ -23,6 +23,13 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `f` once under a wall-clock timer (the real criterion runs it many times).
+    ///
+    /// # Offline-shim caveat
+    ///
+    /// One pass means no warm-up, no sampling and no outlier rejection: the printed
+    /// number is a smoke-test signal, not a measurement. The paper's timing figures
+    /// (Figures 1–5, 11, 14) need the real `criterion` — a one-line swap in the root
+    /// `Cargo.toml` when crates.io access is available, see `shims/README.md`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
         black_box(f());

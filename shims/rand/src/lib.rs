@@ -12,6 +12,17 @@ pub mod rngs {
     use super::{RngCore, SeedableRng};
 
     /// The workspace's standard deterministic generator (SplitMix64).
+    ///
+    /// # Offline-shim caveat
+    ///
+    /// This is **not** the real `rand::rngs::StdRng` (ChaCha12): the same seed produces
+    /// a different stream than upstream `rand`, so any test or experiment that hardcodes
+    /// expected draws encodes *this shim's* stream. The golden fingerprints in
+    /// `crates/workload/tests/determinism.rs` pin it; if you swap this shim for the real
+    /// crate (one line in the root `Cargo.toml`, see `shims/README.md`) or change the
+    /// algorithm here, those fingerprints must be recomputed. Paper-facing results that
+    /// depend on trace content, not just trace shape, should note which stream produced
+    /// them.
     #[derive(Debug, Clone)]
     pub struct StdRng {
         state: u64,

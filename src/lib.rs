@@ -60,7 +60,7 @@ pub use legostore_workload as workload;
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use legostore_cloud::{CloudModel, CloudModelBuilder, GcpLocation};
-    pub use legostore_core::{Cluster, ClusterOptions, StoreClient};
+    pub use legostore_core::{Clock, Cluster, ClusterOptions, StoreClient};
     pub use legostore_lincheck::{CheckOutcome, History, HistoryRecorder};
     pub use legostore_optimizer::{
         baselines::{evaluate_baseline, Baseline},
