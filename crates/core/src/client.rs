@@ -40,6 +40,29 @@ impl ClientOp {
         }
     }
 
+    /// Re-sends the current phase to every placement DC (§4.5 timeout handling). The
+    /// operation *resumes* — same state machine, same chosen tag — because a restarted
+    /// PUT would take effect a second time under a fresh tag (see
+    /// [`AbdPut::resend_widened`]).
+    fn resend_widened(&mut self) -> Vec<Outbound> {
+        match self {
+            ClientOp::AbdPut(o) => o.resend_widened(),
+            ClientOp::AbdGet(o) => o.resend_widened(),
+            ClientOp::CasPut(o) => o.resend_widened(),
+            ClientOp::CasGet(o) => o.resend_widened(),
+        }
+    }
+
+    /// `(needed, received)` of the stalled phase's quorum (timeout diagnostics).
+    fn pending_quorum(&self) -> (usize, usize) {
+        match self {
+            ClientOp::AbdPut(o) => o.pending_quorum(),
+            ClientOp::AbdGet(o) => o.pending_quorum(),
+            ClientOp::CasPut(o) => o.pending_quorum(),
+            ClientOp::CasGet(o) => o.pending_quorum(),
+        }
+    }
+
     fn on_reply(&mut self, from: DcId, phase: u8, reply: ProtoReply) -> OpProgress {
         match self {
             ClientOp::AbdPut(o) => o.on_reply(from, phase, reply),
@@ -264,24 +287,22 @@ impl StoreClient {
         value: Option<Value>,
     ) -> StoreResult<(Value, bool)> {
         let mut config = self.config_for(key)?;
-        let mut widen = false;
         let max_attempts = self.cluster.options.max_attempts.max(1);
         let mut last_error = StoreError::QuorumTimeout { needed: 0, received: 0 };
         let clock = self.cluster.clock().clone();
         // Register with the clock for the whole operation: a virtual clock must not jump
         // ahead while this thread is between sends and waits.
         let _participant = clock.enter();
+        // One state machine for the whole operation. A timed-out attempt *resumes* it
+        // (§4.5: re-send the current phase to every placement DC) rather than restarting:
+        // a restarted PUT whose writes already landed somewhere would install the same
+        // value again under a fresh tag — one logical write, two linearization points.
+        // The machine is rebuilt only when the configuration itself changed (reconfig
+        // redirect or epoch bump) or after a retryable in-protocol failure, which only
+        // effect-free reads report.
+        let mut op = self.build_op(key, kind, &config, value.as_ref());
+        let mut resume = false;
         for _attempt in 0..max_attempts {
-            let mut effective = config.clone();
-            if widen {
-                // Failure handling (§4.5): re-send to every DC in the placement and take the
-                // first quorum's worth of responses.
-                let all = effective.dcs.clone();
-                effective
-                    .preferred_quorums
-                    .insert(self.dc, vec![all.clone(), all.clone(), all.clone(), all]);
-            }
-            let mut op = self.build_op(key, kind, &effective, value.as_ref());
             let endpoint = self.cluster.next_endpoint.fetch_add(1, Ordering::Relaxed);
             let deadline_ns =
                 clock.now_ns() + self.cluster.options.op_timeout.as_nanos() as u64;
@@ -291,11 +312,12 @@ impl StoreClient {
             // virtual clock back).
             let (reply_tx, reply_rx) = clock.channel::<ReplyEnvelope>();
             let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
-            let mut outbound = op.start();
+            let mut outbound = if resume { op.resend_widened() } else { op.start() };
             // Metadata round trip owed after a reconfiguration redirect; slept only once
             // the attempt's reply channel is closed (a bare sleep with an open channel
             // could strand straggler replies and stall a virtual clock).
             let mut metadata_pause = None;
+            let mut timed_out = false;
             loop {
                 for out in outbound.drain(..) {
                     let inbound = Inbound {
@@ -306,12 +328,19 @@ impl StoreClient {
                         epoch: out.epoch,
                         msg: out.msg.clone(),
                     };
-                    self.cluster.send_request(out.to, reply_tx.clone(), inbound)?;
+                    self.cluster.send_request(self.dc, out.to, reply_tx.clone(), inbound)?;
                 }
                 // Wait for the next reply (or the attempt deadline).
                 let env = match self.wait_for_reply(endpoint, &reply_rx, &mut inbox, deadline_ns) {
                     Some(env) => env,
-                    None => break, // timeout: widen and retry
+                    None => {
+                        timed_out = true;
+                        // Record how far the stalled phase got, so a final
+                        // QuorumUnreachable carries real needed/received counts.
+                        let (needed, received) = op.pending_quorum();
+                        last_error = StoreError::QuorumTimeout { needed, received };
+                        break; // timeout: resume with a widened re-send
+                    }
                 };
                 match op.on_reply(env.from, env.phase, env.reply) {
                     OpProgress::Pending => {}
@@ -329,7 +358,7 @@ impl StoreClient {
                         }
                         OpOutcome::Reconfigured { new_config } => {
                             // Fetch the new configuration (modeled as a metadata round trip
-                            // to the controller DC) and retry against it.
+                            // to the controller DC) and restart against it.
                             self.stats.reconfig_restarts += 1;
                             metadata_pause = Some(self.cluster.reply_delay(
                                 self.dc,
@@ -341,11 +370,19 @@ impl StoreClient {
                             last_error = StoreError::OperationFailedByReconfig {
                                 new_epoch: config.epoch,
                             };
+                            op = self.build_op(key, kind, &config, value.as_ref());
+                            resume = false;
                             break;
                         }
                         OpOutcome::Failed(err) => {
                             if err.is_retryable() {
+                                // Only effect-free reads reach here (e.g. a CAS GET that
+                                // gathered too few coded elements), so a fresh state
+                                // machine is safe — and re-querying picks up the newest
+                                // finalized tag, which a resumed read would keep missing.
                                 last_error = err;
+                                op = self.build_op(key, kind, &config, value.as_ref());
+                                resume = false;
                                 break;
                             }
                             return Err(err);
@@ -360,20 +397,31 @@ impl StoreClient {
             if let Some(delay) = metadata_pause {
                 clock.sleep(delay);
             }
-            // The attempt ended without completing: refresh the view (it may have changed)
-            // and widen the quorum for the next attempt.
+            if !timed_out {
+                continue; // the outcome arm already rebuilt the operation
+            }
+            // The attempt timed out: refresh the view (it may have changed). If the
+            // configuration moved, restart against it; otherwise resume the same
+            // operation, re-sending its current phase to the full placement.
             if let Ok(fresh) = self.refresh_view(key) {
                 if fresh.epoch > config.epoch {
                     config = fresh;
-                } else {
-                    widen = true;
-                    self.stats.timeout_restarts += 1;
+                    op = self.build_op(key, kind, &config, value.as_ref());
+                    resume = false;
+                    continue;
                 }
-            } else {
-                widen = true;
             }
+            resume = true;
+            self.stats.timeout_restarts += 1;
         }
-        Err(last_error)
+        // Every attempt ended in a retryable failure (timeouts, reconfiguration races,
+        // transport loss): report the terminal verdict instead of the last symptom, so
+        // callers facing a beyond-`f` fault get a typed, non-retryable answer rather
+        // than a generic timeout (or, worse, an unbounded hang).
+        Err(StoreError::QuorumUnreachable {
+            attempts: max_attempts,
+            last: Box::new(last_error),
+        })
     }
 
     /// Buffers `env` in `inbox` at its modeled arrival instant.
@@ -539,6 +587,86 @@ mod tests {
         assert_eq!(tokyo.get(&key).unwrap(), Value::from("from-london"));
         // The recorded history is linearizable.
         assert!(cluster.recorder().check_all().is_empty());
+        cluster.shutdown();
+    }
+
+    /// A fault plan crashing `victims` from t=0 with no recovery (a beyond-`f` outage
+    /// when more than `f` of the placement is listed).
+    fn permanent_crash_plan(victims: &[DcId]) -> legostore_types::FaultPlan {
+        legostore_types::FaultPlan {
+            seed: 1,
+            events: victims
+                .iter()
+                .map(|dc| legostore_types::FaultEvent {
+                    at_ms: 0.0,
+                    kind: legostore_types::FaultKind::CrashDc { dc: *dc },
+                })
+                .collect(),
+        }
+    }
+
+    fn faulted_cluster(victims: &[DcId]) -> Cluster {
+        Cluster::gcp9(ClusterOptions {
+            latency_scale: 0.002,
+            op_timeout: Duration::from_millis(250),
+            max_attempts: 3,
+            clock: Clock::virtual_time(),
+            fault_plan: permanent_crash_plan(victims),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn abd_beyond_f_returns_quorum_unreachable() {
+        // ABD(3, f=1) with 2 of 3 hosts crashed forever: no attempt can ever assemble a
+        // majority. The client must give up with the typed terminal error — bounded in
+        // (virtual) time, no hang, no panic.
+        let victims = [GcpLocation::LosAngeles.dc(), GcpLocation::Oregon.dc()];
+        let cluster = faulted_cluster(&victims);
+        let config = Configuration::abd_majority(
+            vec![GcpLocation::Tokyo.dc(), victims[0], victims[1]],
+            1,
+        );
+        cluster.install_key("k", config, &Value::from("v"));
+        let mut client = cluster.client(GcpLocation::Tokyo.dc());
+        let put = client.put(&Key::from("k"), Value::from("w"));
+        let Err(StoreError::QuorumUnreachable { attempts, last }) = put else {
+            panic!("expected QuorumUnreachable, got {put:?}");
+        };
+        assert_eq!(attempts, 3);
+        // The wrapped error carries the stalled phase's real progress: the write-query
+        // quorum is 2 and only Tokyo could answer.
+        assert_eq!(*last, StoreError::QuorumTimeout { needed: 2, received: 1 });
+        let get = client.get(&Key::from("k"));
+        assert!(matches!(get, Err(StoreError::QuorumUnreachable { .. })), "{get:?}");
+        // Failed operations are never recorded, so the history cannot be corrupted.
+        assert!(cluster.recorder().check_all().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cas_beyond_f_returns_quorum_unreachable() {
+        // CAS(5, k=3, f=1) needs quorums of 4; with 2 hosts crashed only 3 remain.
+        let victims = [GcpLocation::Oregon.dc(), GcpLocation::Frankfurt.dc()];
+        let cluster = faulted_cluster(&victims);
+        let config = Configuration::cas_default(
+            vec![
+                GcpLocation::Virginia.dc(),
+                victims[0],
+                GcpLocation::LosAngeles.dc(),
+                victims[1],
+                GcpLocation::London.dc(),
+            ],
+            3,
+            1,
+        );
+        cluster.install_key("coded", config, &Value::filler(600));
+        let mut client = cluster.client(GcpLocation::Virginia.dc());
+        let put = client.put(&Key::from("coded"), Value::filler(300));
+        assert!(matches!(put, Err(StoreError::QuorumUnreachable { attempts: 3, .. })), "{put:?}");
+        let get = client.get(&Key::from("coded"));
+        assert!(matches!(get, Err(StoreError::QuorumUnreachable { .. })), "{get:?}");
+        assert!(client.stats().timeout_restarts >= 2, "{:?}", client.stats());
         cluster.shutdown();
     }
 

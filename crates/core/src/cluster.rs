@@ -9,7 +9,8 @@ use legostore_proto::msg::{ProtoReply, ReconfigPayload};
 use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
 use legostore_proto::server::{DcServer, Inbound};
 use legostore_types::{
-    Configuration, DcId, Key, StoreError, StoreResult, Tag, Value,
+    Configuration, DcId, FaultPlan, FaultState, Key, LinkVerdict, StoreError, StoreResult, Tag,
+    Value,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -44,6 +45,11 @@ pub struct ClusterOptions {
     /// (wall-clock) time; [`Clock::virtual_time`] runs the same protocols on logical time,
     /// collapsing modeled RTT waits to microseconds and making timestamps deterministic.
     pub clock: Clock,
+    /// Deterministic fault schedule injected at the deployment's transport layer (see
+    /// [`legostore_types::fault`]). Event times are model milliseconds, scaled by
+    /// [`ClusterOptions::latency_scale`] exactly like the cloud model's RTTs. The default
+    /// empty plan injects nothing and costs nothing on the message path.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ClusterOptions {
@@ -57,6 +63,7 @@ impl Default for ClusterOptions {
             default_fault_tolerance: 1,
             optimized_get: true,
             clock: Clock::real(),
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -105,6 +112,9 @@ pub(crate) struct ClusterInner {
     pub(crate) recorder: Arc<HistoryRecorder>,
     pub(crate) next_client_id: AtomicU32,
     pub(crate) next_endpoint: AtomicU64,
+    /// Interpreter of [`ClusterOptions::fault_plan`]; `None` when the plan is empty so
+    /// the fault-free message path takes no lock.
+    pub(crate) faults: Option<Mutex<FaultState>>,
 }
 
 impl ClusterInner {
@@ -125,27 +135,74 @@ impl ClusterInner {
         Duration::from_secs_f64(ms * self.options.latency_scale / 1000.0)
     }
 
+    /// The clock reading converted to the fault plan's time domain (model milliseconds,
+    /// i.e. clock time divided by `latency_scale`).
+    fn model_now_ms(&self) -> f64 {
+        self.now_ns() as f64 / 1_000_000.0 / self.options.latency_scale
+    }
+
+    /// The fate of one message on the `from → to` link under the active fault plan.
+    /// Fault events are applied lazily: everything scheduled at or before the current
+    /// model instant takes effect before the verdict is drawn.
+    pub(crate) fn fault_verdict(&self, from: DcId, to: DcId) -> LinkVerdict {
+        let Some(faults) = &self.faults else {
+            return LinkVerdict::CLEAN;
+        };
+        let mut state = faults.lock();
+        state.advance_to(self.model_now_ms());
+        state.verdict(from, to)
+    }
+
     /// Buffers `env` in `inbox` at its modeled arrival instant for a consumer at `at`.
+    ///
+    /// This is the reply-leg fault interposition point: a faulted link drops the reply
+    /// (the client only notices via its attempt timeout), a slow or lossy link defers it
+    /// past the fault-free arrival instant, and a duplicating link buffers it twice (the
+    /// protocol quorum trackers dedupe responders by DC, so duplicates are harmless).
     pub(crate) fn buffer_reply(
         &self,
         at: DcId,
         inbox: &mut DelayedInbox<ReplyEnvelope>,
         env: ReplyEnvelope,
     ) {
-        let delay = self.reply_delay(at, env.from, env.reply.wire_size(self.options.metadata_bytes));
+        let (copies, extra_ms) = match self.fault_verdict(env.from, at) {
+            LinkVerdict::Drop => return,
+            LinkVerdict::Deliver { copies, extra_delay_ms } => (copies, extra_delay_ms),
+        };
+        let delay = self.reply_delay(at, env.from, env.reply.wire_size(self.options.metadata_bytes))
+            + Duration::from_secs_f64(extra_ms * self.options.latency_scale / 1000.0);
+        for _ in 1..copies {
+            inbox.push(env.sent_at_ns, delay, env.clone());
+        }
         inbox.push(env.sent_at_ns, delay, env);
     }
 
+    /// Sends a protocol request from the endpoint at `from` to the server at `to`.
+    ///
+    /// This is the request-leg fault interposition point: a dropped request is simply
+    /// never delivered (`Ok(())` — the network gives no failure signal), and a
+    /// duplicated one is enqueued twice. Extra fault delay is applied on the reply leg
+    /// only, matching how the deployment models the whole round trip on the reply side.
     pub(crate) fn send_request(
         &self,
+        from: DcId,
         to: DcId,
         reply_to: ClockedSender<ReplyEnvelope>,
         inbound: Inbound,
     ) -> StoreResult<()> {
+        let copies = match self.fault_verdict(from, to) {
+            LinkVerdict::Drop => return Ok(()),
+            LinkVerdict::Deliver { copies, .. } => copies,
+        };
         let sender = self
             .senders
             .get(&to)
             .ok_or_else(|| StoreError::Transport(format!("unknown data center {to}")))?;
+        for _ in 1..copies {
+            sender
+                .send(ServerMsg::Request { reply_to: reply_to.clone(), inbound: inbound.clone() })
+                .map_err(|_| StoreError::Transport(format!("server {to} has shut down")))?;
+        }
         sender
             .send(ServerMsg::Request { reply_to, inbound })
             .map_err(|_| StoreError::Transport(format!("server {to} has shut down")))
@@ -175,6 +232,8 @@ impl Cluster {
             senders.insert(dc, tx);
             receivers.push((dc, rx));
         }
+        let faults = (!options.fault_plan.is_empty())
+            .then(|| Mutex::new(FaultState::new(&options.fault_plan)));
         let inner = Arc::new(ClusterInner {
             model,
             options,
@@ -183,6 +242,7 @@ impl Cluster {
             recorder: Arc::new(HistoryRecorder::new()),
             next_client_id: AtomicU32::new(1),
             next_endpoint: AtomicU64::new(1),
+            faults,
         });
         let handles = receivers
             .into_iter()
@@ -311,7 +371,7 @@ impl Cluster {
                     epoch: out.epoch,
                     msg: out.msg.clone(),
                 };
-                self.inner.send_request(out.to, tx.clone(), inbound)?;
+                self.inner.send_request(controller_dc, out.to, tx.clone(), inbound)?;
             }
             // Collect replies until the controller advances. All parking happens in
             // channel waits so arriving replies keep being drained (a bare clock sleep
@@ -366,7 +426,8 @@ impl Cluster {
                 epoch: out.epoch,
                 msg: out.msg.clone(),
             };
-            self.inner.send_request(out.to, tx.clone(), inbound)?;
+            self.inner
+                .send_request(self.inner.options.controller_dc, out.to, tx.clone(), inbound)?;
         }
         Ok(Duration::from_nanos(clock.now_ns() - started_ns))
     }

@@ -21,6 +21,10 @@
 //!   checked for linearizability with `legostore-lincheck`.
 //! * [`Clock`] — the deployment's time source: real wall-clock time (the default) or a
 //!   shared virtual clock that collapses the modeled RTT waits to microseconds.
+//! * [`ClusterOptions::fault_plan`] — a deterministic
+//!   [`FaultPlan`](legostore_types::fault::FaultPlan) injected at the deployment's
+//!   transport layer (crashes, partitions, slow DCs, lossy links), interpreted lazily as
+//!   the clock passes each event's instant.
 
 #![warn(missing_docs)]
 

@@ -10,7 +10,7 @@
 //!   the highest tag (so the write-back would be a no-op).
 
 use crate::msg::{OpOutcome, OpProgress, Outbound, ProtoMsg, ProtoReply};
-use crate::quorum::QuorumTracker;
+use crate::quorum::{widen_preferred_quorums, QuorumTracker};
 use legostore_types::{
     ClientId, ConfigEpoch, Configuration, DcId, Key, QuorumId, StoreError, Tag, Value,
 };
@@ -105,6 +105,13 @@ impl AbdPut {
         self.new_tag
     }
 
+    /// `(needed, received)` of the current phase's quorum — how far the stalled phase
+    /// got, for timeout diagnostics.
+    pub fn pending_quorum(&self) -> (usize, usize) {
+        let q = if self.phase == 1 { &self.q1 } else { &self.q2 };
+        (q.needed(), q.count())
+    }
+
     /// Messages for phase 1 (write-query to quorum Q1).
     pub fn start(&self) -> Vec<Outbound> {
         self.config
@@ -116,6 +123,46 @@ impl AbdPut {
                 key: self.key.clone(),
                 epoch: self.epoch,
                 msg: ProtoMsg::AbdWriteQuery,
+            })
+            .collect()
+    }
+
+    /// Re-sends the *current* phase's messages to every DC of the placement — the
+    /// paper's §4.5 failure handling ("send the request to all other DCs participating
+    /// in the configuration") for a timed-out attempt.
+    ///
+    /// Resuming (instead of restarting) is a linearizability requirement, not just an
+    /// optimization: once phase 1 completed, phase-2 writes carrying
+    /// [`AbdPut::chosen_tag`] may already have taken effect at some servers. A restarted
+    /// attempt would query again and install the same value under a fresh, *higher* tag,
+    /// making one logical PUT take effect at two distinct linearization points (reads
+    /// could then observe new → old → new). Re-sending keeps the tag pinned, so the
+    /// retried write is idempotent. Responses already counted stay counted (the quorum
+    /// trackers deduplicate by DC).
+    ///
+    /// The widening is sticky: later phases of the resumed operation also target the
+    /// full placement (a preferred quorum containing the unreachable DC would otherwise
+    /// stall every subsequent phase transition until its own timeout).
+    pub fn resend_widened(&mut self) -> Vec<Outbound> {
+        widen_preferred_quorums(&mut self.config, self.client_dc);
+        let msg = match self.phase {
+            1 => ProtoMsg::AbdWriteQuery,
+            _ => ProtoMsg::AbdWrite {
+                tag: self.new_tag.expect("phase 2 implies a chosen tag"),
+                value: self.value.clone(),
+            },
+        };
+        let phase = self.phase;
+        self.config
+            .dcs
+            .iter()
+            .copied()
+            .map(|to| Outbound {
+                to,
+                phase,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: msg.clone(),
             })
             .collect()
     }
@@ -212,6 +259,12 @@ impl AbdGet {
         }
     }
 
+    /// `(needed, received)` of the current phase's quorum (timeout diagnostics).
+    pub fn pending_quorum(&self) -> (usize, usize) {
+        let q = if self.phase == 1 { &self.phase1 } else { &self.q2 };
+        (q.needed(), q.count())
+    }
+
     /// Messages for phase 1 (read-query).
     pub fn start(&self) -> Vec<Outbound> {
         let mut targets = self.config.quorum_for(self.client_dc, QuorumId::Q1).to_vec();
@@ -231,6 +284,34 @@ impl AbdGet {
                 key: self.key.clone(),
                 epoch: self.epoch,
                 msg: ProtoMsg::AbdReadQuery,
+            })
+            .collect()
+    }
+
+    /// Re-sends the current phase's messages to every DC of the placement (§4.5 timeout
+    /// handling; see [`AbdPut::resend_widened`]). Reads have no double-effect hazard, but
+    /// resuming preserves the responses already gathered, which matters for liveness on
+    /// lossy links.
+    pub fn resend_widened(&mut self) -> Vec<Outbound> {
+        widen_preferred_quorums(&mut self.config, self.client_dc);
+        let msg = match self.phase {
+            1 => ProtoMsg::AbdReadQuery,
+            _ => {
+                let (tag, value) = self.best.clone().expect("phase 2 implies a best pair");
+                ProtoMsg::AbdWrite { tag, value }
+            }
+        };
+        let phase = self.phase;
+        self.config
+            .dcs
+            .iter()
+            .copied()
+            .map(|to| Outbound {
+                to,
+                phase,
+                key: self.key.clone(),
+                epoch: self.epoch,
+                msg: msg.clone(),
             })
             .collect()
     }
@@ -486,6 +567,42 @@ mod tests {
         };
         assert_eq!(tag.seq, 1);
         assert_eq!(put.chosen_tag(), Some(tag));
+    }
+
+    #[test]
+    fn put_resend_pins_the_chosen_tag_and_widens_to_all_dcs() {
+        let config = config3();
+        let mut put = AbdPut::new(Key::from("k"), config, DcId(0), ClientId(1), Value::from("x"));
+        // Before phase 1 completes, a resend re-queries (no tag exists to pin).
+        let msgs = put.resend_widened();
+        assert_eq!(msgs.len(), 3, "widened to the full placement");
+        assert!(msgs.iter().all(|m| matches!(m.msg, ProtoMsg::AbdWriteQuery)));
+        // Complete phase 1; the tag is now chosen.
+        put.on_reply(DcId(0), 1, ProtoReply::TagOnly { tag: Tag::INITIAL });
+        let OpProgress::Send(_) = put.on_reply(DcId(1), 1, ProtoReply::TagOnly { tag: Tag::INITIAL })
+        else {
+            panic!()
+        };
+        let tag = put.chosen_tag().expect("phase 1 done");
+        // A timed-out attempt resumes: same tag, same value, all DCs. A fresh state
+        // machine would pick a higher tag here — the double-effect bug the
+        // linearizability-under-faults suite caught.
+        let msgs = put.resend_widened();
+        assert_eq!(msgs.len(), 3);
+        for m in &msgs {
+            assert_eq!(m.phase, 2);
+            let ProtoMsg::AbdWrite { tag: t, value } = &m.msg else { panic!("{m:?}") };
+            assert_eq!(*t, tag);
+            assert_eq!(value, &Value::from("x"));
+        }
+        // Acks gathered before and after the resend combine into one quorum.
+        assert_eq!(put.on_reply(DcId(2), 2, ProtoReply::Ack), OpProgress::Pending);
+        let OpProgress::Done(OpOutcome::PutOk { tag: done }) =
+            put.on_reply(DcId(0), 2, ProtoReply::Ack)
+        else {
+            panic!()
+        };
+        assert_eq!(done, tag);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! and the paper sets the horizon orders of magnitude above operation latencies.
 
 use crate::msg::{OpOutcome, OpProgress, Outbound, ProtoMsg, ProtoReply};
-use crate::quorum::QuorumTracker;
+use crate::quorum::{widen_preferred_quorums, QuorumTracker};
 use legostore_erasure::{decode_value, encode_value, Shard};
 use legostore_types::{
     ClientId, ConfigEpoch, Configuration, DcId, Key, QuorumId, StoreError, Tag, Value,
@@ -144,6 +144,9 @@ pub struct CasPut {
     q3: QuorumTracker,
     max_tag: Tag,
     new_tag: Option<Tag>,
+    /// Memoized codeword of `value` (a pure function of `(value, n, k)`): computed at
+    /// the first phase-2 send and reused by every timeout re-send.
+    encoded: Option<Vec<Shard>>,
 }
 
 impl CasPut {
@@ -171,12 +174,23 @@ impl CasPut {
             q3,
             max_tag: Tag::INITIAL,
             new_tag: None,
+            encoded: None,
         }
     }
 
     /// The tag this PUT will install (available once phase 1 completes).
     pub fn chosen_tag(&self) -> Option<Tag> {
         self.new_tag
+    }
+
+    /// `(needed, received)` of the current phase's quorum (timeout diagnostics).
+    pub fn pending_quorum(&self) -> (usize, usize) {
+        let q = match self.phase {
+            1 => &self.q1,
+            2 => &self.q2,
+            _ => &self.q3,
+        };
+        (q.needed(), q.count())
     }
 
     /// Messages for phase 1 (query).
@@ -194,9 +208,14 @@ impl CasPut {
             .collect()
     }
 
-    fn pre_write_messages(&self, tag: Tag) -> Vec<Outbound> {
-        let shards: Vec<Shard> = encode_value(self.value.as_bytes(), self.config.n, self.config.k)
-            .expect("configuration was validated");
+    fn pre_write_messages(&mut self, tag: Tag) -> Vec<Outbound> {
+        if self.encoded.is_none() {
+            self.encoded = Some(
+                encode_value(self.value.as_bytes(), self.config.n, self.config.k)
+                    .expect("configuration was validated"),
+            );
+        }
+        let shards = self.encoded.as_deref().expect("filled above");
         self.config
             .quorum_for(self.client_dc, QuorumId::Q2)
             .iter().copied()
@@ -228,6 +247,31 @@ impl CasPut {
                 msg: ProtoMsg::CasFinalizeWrite { tag },
             })
             .collect()
+    }
+
+    /// Re-sends the current phase's messages to every DC of the placement — the paper's
+    /// §4.5 timeout handling. As with [`crate::AbdPut::resend_widened`], resuming with
+    /// the pinned [`CasPut::chosen_tag`] is a linearizability requirement: a restarted
+    /// attempt would pick a fresh higher tag, and the partially-finalized old tag could
+    /// surface to readers *before* an interleaved writer while the fresh tag surfaces
+    /// *after* it — one PUT, two linearization points. The widening is sticky: later
+    /// phases of the resumed operation also target the full placement.
+    pub fn resend_widened(&mut self) -> Vec<Outbound> {
+        // After widening, every quorum_for lookup resolves to the full placement, so the
+        // ordinary phase builders produce the widened messages (phase 2 reuses the
+        // memoized codeword instead of re-encoding).
+        widen_preferred_quorums(&mut self.config, self.client_dc);
+        match self.phase {
+            1 => self.start(),
+            2 => {
+                let tag = self.new_tag.expect("phase 2 implies a chosen tag");
+                self.pre_write_messages(tag)
+            }
+            _ => {
+                let tag = self.new_tag.expect("phase 3 implies a chosen tag");
+                self.finalize_messages(tag)
+            }
+        }
     }
 
     /// Feeds one reply into the state machine.
@@ -288,9 +332,9 @@ pub struct CasGet {
     max_fin_tag: Tag,
     target_tag: Option<Tag>,
     shards: Vec<Shard>,
-    /// Targets of the finalize-read phase (needed to detect exhaustion).
+    /// Targets of the finalize-read phase (needed to detect exhaustion; compared against
+    /// `q4`'s *distinct* responder count, so duplicated replies cannot fake exhaustion).
     phase2_targets: usize,
-    phase2_responses: usize,
     /// Client-side cache from a previous GET: `(tag, value)` (the optimized-GET fast path).
     cache: Option<(Tag, Value)>,
 }
@@ -318,9 +362,14 @@ impl CasGet {
             target_tag: None,
             shards: Vec::new(),
             phase2_targets: 0,
-            phase2_responses: 0,
             cache,
         }
+    }
+
+    /// `(needed, received)` of the current phase's quorum (timeout diagnostics).
+    pub fn pending_quorum(&self) -> (usize, usize) {
+        let q = if self.phase == 1 { &self.q1 } else { &self.q4 };
+        (q.needed(), q.count())
     }
 
     /// Messages for phase 1 (query for the highest finalized tag).
@@ -351,6 +400,46 @@ impl CasGet {
                 msg: ProtoMsg::CasFinalizeRead { tag },
             })
             .collect()
+    }
+
+    /// Re-sends the current phase's messages to every DC of the placement (§4.5 timeout
+    /// handling; see [`CasPut::resend_widened`]). The finalize-read targets widen to the
+    /// whole placement, so the symbol hunt for the target tag gets every surviving coded
+    /// element a chance to answer. The widening is sticky: a phase-1 resume that later
+    /// advances to the finalize-read also targets the full placement.
+    pub fn resend_widened(&mut self) -> Vec<Outbound> {
+        widen_preferred_quorums(&mut self.config, self.client_dc);
+        match self.phase {
+            1 => self
+                .config
+                .dcs
+                .iter()
+                .copied()
+                .map(|to| Outbound {
+                    to,
+                    phase: 1,
+                    key: self.key.clone(),
+                    epoch: self.epoch,
+                    msg: ProtoMsg::CasQuery,
+                })
+                .collect(),
+            _ => {
+                let tag = self.target_tag.expect("phase 2 implies a target tag");
+                self.phase2_targets = self.config.dcs.len();
+                self.config
+                    .dcs
+                    .iter()
+                    .copied()
+                    .map(|to| Outbound {
+                        to,
+                        phase: 2,
+                        key: self.key.clone(),
+                        epoch: self.epoch,
+                        msg: ProtoMsg::CasFinalizeRead { tag },
+                    })
+                    .collect()
+            }
+        }
     }
 
     /// Feeds one reply into the state machine.
@@ -385,12 +474,15 @@ impl CasGet {
                 }
             }
             (2, ProtoReply::CasShard { tag, shard }) => {
-                self.phase2_responses += 1;
                 let target = self.target_tag.expect("phase 2 implies target chosen");
                 if tag == target {
                     if let Some(data) = shard {
                         if let Some(idx) = self.config.symbol_index(from) {
-                            self.shards.push(Shard::new(idx, data));
+                            // Dedupe by symbol index: a widened re-send can elicit a
+                            // second reply from a DC whose element is already collected.
+                            if !self.shards.iter().any(|s| s.index == idx) {
+                                self.shards.push(Shard::new(idx, data));
+                            }
                         }
                     }
                 }
@@ -409,9 +501,10 @@ impl CasGet {
                             need: self.config.k,
                         })),
                     }
-                } else if self.phase2_responses >= self.phase2_targets && !have_symbols {
-                    // Every contacted server answered but too few had the symbol; the hosting
-                    // runtime will widen the quorum / retry.
+                } else if self.q4.count() >= self.phase2_targets && !have_symbols {
+                    // Every contacted server answered (distinct responders, so duplicated
+                    // replies can't fake exhaustion) but too few had the symbol; the
+                    // hosting runtime will widen the quorum / retry.
                     OpProgress::Done(OpOutcome::Failed(StoreError::DecodeFailed {
                         have: self.shards.len(),
                         need: self.config.k,
@@ -505,6 +598,91 @@ mod tests {
             }
             assert!(!inflight.is_empty(), "protocol stalled");
         }
+    }
+
+    #[test]
+    fn put_resend_pins_the_chosen_tag_across_phases() {
+        let config = config53();
+        let mut put = CasPut::new(
+            Key::from("k"),
+            config.clone(),
+            DcId(0),
+            ClientId(4),
+            Value::filler(600),
+        );
+        put.start();
+        // Complete phase 1 (q1 = 2 of 5 for CAS(5,3)): the tag is chosen.
+        assert_eq!(
+            put.on_reply(DcId(0), 1, ProtoReply::TagOnly { tag: Tag::INITIAL }),
+            OpProgress::Pending
+        );
+        let OpProgress::Send(pre) = put.on_reply(DcId(1), 1, ProtoReply::TagOnly { tag: Tag::INITIAL })
+        else {
+            panic!()
+        };
+        assert!(pre.iter().all(|m| m.phase == 2));
+        let tag = put.chosen_tag().expect("phase 1 done");
+        // A timed-out attempt resumes phase 2 with the *same* tag on all 5 DCs (a
+        // restarted machine would re-query and pick a fresh higher tag — the
+        // double-effect hazard).
+        let resent = put.resend_widened();
+        assert_eq!(resent.len(), 5);
+        for m in &resent {
+            let ProtoMsg::CasPreWrite { tag: t, .. } = &m.msg else { panic!("{m:?}") };
+            assert_eq!(*t, tag);
+        }
+        // Advance to phase 3 (q2 = 4 acks) and resend there too: still the same tag.
+        for dc in 0..3 {
+            assert_eq!(put.on_reply(DcId(dc), 2, ProtoReply::Ack), OpProgress::Pending);
+        }
+        let OpProgress::Send(fins) = put.on_reply(DcId(3), 2, ProtoReply::Ack) else { panic!() };
+        assert!(fins.iter().all(|m| matches!(m.msg, ProtoMsg::CasFinalizeWrite { tag: t } if t == tag)));
+        let refins = put.resend_widened();
+        assert_eq!(refins.len(), 5);
+        assert!(refins
+            .iter()
+            .all(|m| matches!(m.msg, ProtoMsg::CasFinalizeWrite { tag: t } if t == tag)));
+    }
+
+    #[test]
+    fn get_resend_rehunts_symbols_and_dedupes_shards() {
+        let config = config53();
+        let mut servers = initial_cas_states(&config, &Value::from("init"));
+        let payload = Value::filler(900);
+        let OpOutcome::PutOk { tag } = run_put(&mut servers, &config, 1, &payload) else {
+            panic!()
+        };
+        let mut get = CasGet::new(Key::from("k"), config.clone(), DcId(0), None);
+        get.start();
+        // q1 = 2 query replies pick the target tag.
+        assert_eq!(get.on_reply(DcId(0), 1, ProtoReply::TagOnly { tag }), OpProgress::Pending);
+        let OpProgress::Send(_) = get.on_reply(DcId(1), 1, ProtoReply::TagOnly { tag }) else {
+            panic!()
+        };
+        // One shard arrives, then the attempt "times out" and resumes: the finalize-read
+        // goes to every DC, and the already-collected element must not be double-counted
+        // when its server answers again.
+        let shard0 = servers.get_mut(&DcId(0)).unwrap().handle(&ProtoMsg::CasFinalizeRead { tag });
+        assert_eq!(get.on_reply(DcId(0), 2, shard0.clone()), OpProgress::Pending);
+        let resent = get.resend_widened();
+        assert_eq!(resent.len(), 5);
+        assert!(resent
+            .iter()
+            .all(|m| matches!(m.msg, ProtoMsg::CasFinalizeRead { tag: t } if t == tag)));
+        assert_eq!(get.on_reply(DcId(0), 2, shard0), OpProgress::Pending, "duplicate element");
+        // Distinct elements complete the decode once the quorum is met.
+        let mut outcome = OpProgress::Pending;
+        for dc in 1..5 {
+            let reply = servers.get_mut(&DcId(dc)).unwrap().handle(&ProtoMsg::CasFinalizeRead { tag });
+            outcome = get.on_reply(DcId(dc), 2, reply);
+            if matches!(outcome, OpProgress::Done(_)) {
+                break;
+            }
+        }
+        let OpProgress::Done(OpOutcome::GetOk { value, .. }) = outcome else {
+            panic!("{outcome:?}")
+        };
+        assert_eq!(value, payload);
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! Quorum bookkeeping for the client-side protocol state machines.
 
-use legostore_types::DcId;
+use legostore_types::{Configuration, DcId};
 use std::collections::BTreeSet;
+
+/// Overrides `config`'s preferred quorums for `client` so every protocol phase targets
+/// the full placement — the paper's §4.5 widening, made *sticky* for a resumed
+/// operation: after one timeout, later phase transitions must not fall back to a
+/// preferred quorum that may contain the unreachable DC. Quorum *sizes* are untouched;
+/// only the target sets grow.
+pub fn widen_preferred_quorums(config: &mut Configuration, client: DcId) {
+    let all = config.dcs.clone();
+    config
+        .preferred_quorums
+        .insert(client, vec![all.clone(), all.clone(), all.clone(), all]);
+}
 
 /// Tracks which data centers have responded in the current phase and whether the phase's
 /// quorum has been reached.

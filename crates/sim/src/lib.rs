@@ -13,6 +13,13 @@
 //! workloads over many keys (Figures 4, 6, 11), mid-run reconfigurations driven by the
 //! controller protocol (Figure 5), data-center failures and recoveries (Figures 5, 11), and
 //! client-side metadata staleness (the "type (ii)" degradations of Figure 5).
+//!
+//! Beyond the paper's scenarios, a run can inject a deterministic
+//! [`FaultPlan`](legostore_types::fault::FaultPlan) — crashes, partitions, slow DCs,
+//! lossy links — via [`Simulation::set_fault_plan`], and record per-key operation
+//! histories for linearizability checking via [`Simulation::enable_history_recording`];
+//! the same plan drives the threaded deployment in
+//! `tests/cross_runtime_conformance.rs`, holding the two runtimes to each other.
 
 pub mod report;
 pub mod simulation;

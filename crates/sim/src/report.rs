@@ -1,6 +1,8 @@
 //! Simulation outputs: per-operation records, latency summaries and cost metering.
 
+use legostore_lincheck::HistoryRecorder;
 use legostore_types::{DcId, OpKind};
+use std::sync::Arc;
 
 /// One completed (or abandoned) client operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +103,10 @@ pub struct SimReport {
     pub end_time_ms: f64,
     /// Durations (ms) of each completed reconfiguration, in completion order.
     pub reconfig_durations_ms: Vec<f64>,
+    /// Per-key operation histories for linearizability checking; present only when
+    /// [`Simulation::enable_history_recording`](crate::Simulation::enable_history_recording)
+    /// was called before the run.
+    pub histories: Option<Arc<HistoryRecorder>>,
 }
 
 impl SimReport {

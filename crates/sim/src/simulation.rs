@@ -2,15 +2,18 @@
 
 use crate::report::{CostMeter, OpRecord, SimReport};
 use legostore_cloud::CloudModel;
+use legostore_lincheck::{recorder::fingerprint, HistoryRecorder};
 use legostore_proto::msg::{OpOutcome, OpProgress, Outbound, ProtoReply};
 use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
 use legostore_proto::server::{DcServer, Inbound};
 use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
 use legostore_types::{
-    ClientId, Configuration, DcId, Key, OpKind, ProtocolKind, Tag, Value,
+    ClientId, Configuration, DcId, FaultPlan, FaultState, Key, LinkVerdict, OpKind, ProtocolKind,
+    Tag, Value,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Tunables of a simulation run.
 #[derive(Debug, Clone)]
@@ -71,6 +74,18 @@ impl ClientOp {
             ClientOp::AbdGet(o) => o.start(),
             ClientOp::CasPut(o) => o.start(),
             ClientOp::CasGet(o) => o.start(),
+        }
+    }
+
+    /// Re-sends the current phase to every placement DC (§4.5 timeout handling): the
+    /// operation resumes with its chosen tag pinned — a restarted PUT would take effect
+    /// twice (see `AbdPut::resend_widened`).
+    fn resend_widened(&mut self) -> Vec<Outbound> {
+        match self {
+            ClientOp::AbdPut(o) => o.resend_widened(),
+            ClientOp::AbdGet(o) => o.resend_widened(),
+            ClientOp::CasPut(o) => o.resend_widened(),
+            ClientOp::CasGet(o) => o.resend_widened(),
         }
     }
 
@@ -163,6 +178,11 @@ pub struct Simulation {
     records: Vec<OpRecord>,
     cost: CostMeter,
     reconfig_durations: Vec<f64>,
+    /// Interpreter of the injected fault plan, if any (see [`Simulation::set_fault_plan`]).
+    faults: Option<FaultState>,
+    /// Per-key operation histories, recorded only when
+    /// [`Simulation::enable_history_recording`] was called.
+    recorder: Option<Arc<HistoryRecorder>>,
 }
 
 impl Simulation {
@@ -197,7 +217,38 @@ impl Simulation {
             records: Vec::new(),
             cost: CostMeter::default(),
             reconfig_durations: Vec::new(),
+            faults: None,
+            recorder: None,
         }
+    }
+
+    /// Injects a deterministic fault plan (see [`legostore_types::fault`]). The plan's
+    /// events are applied lazily as virtual time passes their instants; per-message
+    /// drop/duplication coin flips come from the plan's seed, so a faulty run is exactly
+    /// as reproducible as a fault-free one. The same plan fed to a virtual-time
+    /// `legostore-core` deployment injects the same schedule there.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = (!plan.is_empty()).then(|| FaultState::new(plan));
+    }
+
+    /// Starts recording per-key operation histories for linearizability checking.
+    ///
+    /// Must be called before any key is created. While recording, PUT payloads are
+    /// stamped with the operation token (same size as requested, so latency and cost
+    /// accounting are unchanged) — otherwise every PUT of a size would write identical
+    /// filler bytes and the checker could not tell writes apart. Payloads shorter than
+    /// 8 bytes truncate the stamp and can alias once tokens exceed `256^len`; use
+    /// ≥ 8-byte objects when the linearizability verdict matters.
+    pub fn enable_history_recording(&mut self) {
+        if self.recorder.is_none() {
+            self.recorder = Some(Arc::new(HistoryRecorder::new()));
+        }
+    }
+
+    /// The history recorder, if [`Simulation::enable_history_recording`] was called
+    /// (also carried into [`SimReport::histories`] by [`Simulation::run`]).
+    pub fn recorder(&self) -> Option<Arc<HistoryRecorder>> {
+        self.recorder.clone()
     }
 
     /// Current virtual time in milliseconds.
@@ -214,6 +265,9 @@ impl Simulation {
                 .get_mut(&dc)
                 .expect("dc exists")
                 .install_key(key.clone(), config.clone(), Tag::INITIAL, payload);
+        }
+        if let Some(recorder) = &self.recorder {
+            recorder.register_key(key.as_str(), fingerprint(initial_value.as_bytes()));
         }
         self.metadata.insert(key, config);
     }
@@ -294,6 +348,7 @@ impl Simulation {
             cost: self.cost,
             end_time_ms: self.now_us as f64 / 1000.0,
             reconfig_durations_ms: self.reconfig_durations,
+            histories: self.recorder,
         }
     }
 
@@ -331,12 +386,36 @@ impl Simulation {
         }
     }
 
+    /// The fate of one message on the `from → to` link under the injected fault plan,
+    /// with all events up to the current virtual instant applied.
+    fn fault_verdict(&mut self, from: DcId, to: DcId) -> LinkVerdict {
+        let now_ms = self.now_us as f64 / 1000.0;
+        match &mut self.faults {
+            None => LinkVerdict::CLEAN,
+            Some(state) => {
+                state.advance_to(now_ms);
+                state.verdict(from, to)
+            }
+        }
+    }
+
     /// Sends protocol messages from `origin` on behalf of endpoint `token`.
+    ///
+    /// Request-leg fault interposition. Cost is metered once per *logical* send: the
+    /// sender pays for its egress exactly once, and both dropping and duplication
+    /// happen downstream of that billed egress (a dropped message was still sent; a
+    /// network-duplicated one was not sent twice). Extra fault delay is applied on the
+    /// reply leg only, mirroring `legostore-core`, which models the whole round trip
+    /// on the reply side.
     fn send_outbound(&mut self, token: u64, origin: DcId, msgs: Vec<Outbound>) {
         let class = self.class_of(token);
         for out in msgs {
             let bytes = out.msg.wire_size(self.options.metadata_bytes);
             self.meter(origin, out.to, bytes, class);
+            let copies = match self.fault_verdict(origin, out.to) {
+                LinkVerdict::Drop => continue,
+                LinkVerdict::Deliver { copies, .. } => copies,
+            };
             let delay_ms = self.model.latency_ms(origin, out.to)
                 + self.model.transfer_time_ms(origin, out.to, bytes);
             let inbound = Inbound {
@@ -347,6 +426,12 @@ impl Simulation {
                 epoch: out.epoch,
                 msg: out.msg,
             };
+            for _ in 1..copies {
+                self.push_event(
+                    self.now_ms() + delay_ms,
+                    Event::DeliverToServer { to: out.to, inbound: inbound.clone() },
+                );
+            }
             self.push_event(
                 self.now_ms() + delay_ms,
                 Event::DeliverToServer { to: out.to, inbound },
@@ -378,8 +463,30 @@ impl Simulation {
                     let bytes = reply.reply.wire_size(self.options.metadata_bytes);
                     let class = self.class_of(reply.to);
                     self.meter(to, dest_dc, bytes, class);
+                    // Reply-leg fault interposition (this is where slow-DC / lossy-link
+                    // extra delay lands; see `send_outbound`).
+                    let (copies, extra_ms) = match self.fault_verdict(to, dest_dc) {
+                        LinkVerdict::Drop => continue,
+                        LinkVerdict::Deliver { copies, extra_delay_ms } => {
+                            (copies, extra_delay_ms)
+                        }
+                    };
                     let delay_ms = self.model.latency_ms(to, dest_dc)
-                        + self.model.transfer_time_ms(to, dest_dc, bytes);
+                        + self.model.transfer_time_ms(to, dest_dc, bytes)
+                        + extra_ms;
+                    // Clone only for duplicated deliveries; the common single-copy case
+                    // moves the reply (CAS shards carry real payloads).
+                    for _ in 1..copies {
+                        self.push_event(
+                            self.now_ms() + delay_ms,
+                            Event::DeliverReply {
+                                token: reply.to,
+                                from: to,
+                                phase: reply.phase,
+                                reply: reply.reply.clone(),
+                            },
+                        );
+                    }
                     self.push_event(
                         self.now_ms() + delay_ms,
                         Event::DeliverReply {
@@ -481,13 +588,23 @@ impl Simulation {
             });
             return;
         };
+        let token = self.next_token;
+        self.next_token += 1;
         let value = match kind {
+            // While recording histories, stamp the payload with the operation token
+            // (same length — truncating the stamp for tiny payloads — so latency and
+            // cost accounting are identical with recording on or off): distinct writes
+            // must have distinct fingerprints or the linearizability check is vacuous.
+            OpKind::Put if self.recorder.is_some() => {
+                let mut bytes = vec![0xABu8; value_size as usize];
+                let stamp = (value_size as usize).min(8);
+                bytes[..stamp].copy_from_slice(&token.to_le_bytes()[..stamp]);
+                Some(Value::from(bytes))
+            }
             OpKind::Put => Some(Value::filler(value_size as usize)),
             OpKind::Get => None,
         };
         let op = self.build_op(origin, kind, &key, &config, value.as_ref());
-        let token = self.next_token;
-        self.next_token += 1;
         let pending = PendingOp {
             op,
             origin,
@@ -508,6 +625,22 @@ impl Simulation {
             self.now_ms() + self.options.op_timeout_ms,
             Event::OpTimeout { token, attempt: 0 },
         );
+    }
+
+    /// Records one successful operation into the history recorder (no-op unless
+    /// [`Simulation::enable_history_recording`] was called). Failed operations are never
+    /// recorded, matching the threaded runtime: an operation without a response has no
+    /// place in a completed-operation history.
+    fn record_history(&mut self, token: u64, key: &Key, kind: OpKind, value_bytes: &[u8]) {
+        let Some(recorder) = &self.recorder else { return };
+        let Some(op) = self.ops.get(&token) else { return };
+        let invoke_us = (op.start_ms * 1000.0).round() as u64;
+        let ret_us = self.now_us.max(invoke_us);
+        let fp = fingerprint(value_bytes);
+        match kind {
+            OpKind::Get => recorder.record_get(key.as_str(), token as u32, fp, invoke_us, ret_us),
+            OpKind::Put => recorder.record_put(key.as_str(), token as u32, fp, invoke_us, ret_us),
+        }
     }
 
     fn finish_op(&mut self, token: u64, ok: bool, one_phase: bool) {
@@ -542,6 +675,7 @@ impl Simulation {
                         (op.key.clone(), op.value.clone())
                     };
                     if let Some(v) = value {
+                        self.record_history(token, &key, OpKind::Put, v.as_bytes());
                         self.get_cache.insert((origin, key), (tag, v));
                     }
                     self.finish_op(token, true, false);
@@ -552,6 +686,7 @@ impl Simulation {
                     one_phase,
                 } => {
                     let key = self.ops.get(&token).expect("present").key.clone();
+                    self.record_history(token, &key, OpKind::Get, value.as_bytes());
                     self.get_cache.insert((origin, key), (tag, value));
                     self.finish_op(token, true, one_phase);
                 }
@@ -624,15 +759,21 @@ impl Simulation {
             self.finish_op(token, false, false);
             return;
         }
+        // The paper's failure handling (§4.5): *resume* the operation, re-sending its
+        // current phase to every DC of the placement. Resuming — not restarting — is
+        // what keeps a partially-applied PUT's tag pinned; a rebuilt state machine
+        // would re-query and install the same value under a fresh tag, i.e. one write
+        // with two linearization points.
         op.timeout_retries += 1;
-        // Widen the quorum targets to the full placement (the paper's failure handling:
-        // "send the request to all other DCs participating in the configuration").
-        let mut wide = op.config.clone();
-        let all = wide.dcs.clone();
-        wide.preferred_quorums
-            .insert(op.origin, vec![all.clone(), all.clone(), all.clone(), all]);
-        op.config = wide;
-        self.retry_op(token);
+        op.attempt += 1;
+        let origin = op.origin;
+        let next_attempt = op.attempt;
+        let msgs = op.op.resend_widened();
+        self.send_outbound(token, origin, msgs);
+        self.push_event(
+            self.now_ms() + self.options.op_timeout_ms,
+            Event::OpTimeout { token, attempt: next_attempt },
+        );
     }
 
     fn start_reconfig(&mut self, key: Key, new_config: Configuration) {
@@ -839,6 +980,73 @@ mod tests {
         // And their latency is inflated by at least the timeout.
         let slow = report.latency(None, None, None, None);
         assert!(slow.max_ms >= 800.0);
+    }
+
+    #[test]
+    fn fault_plan_crash_window_is_ridden_out_by_retries() {
+        use legostore_types::{FaultEvent, FaultKind};
+        let la = GcpLocation::LosAngeles.dc();
+        let mut sim = Simulation::with_options(
+            gcp(),
+            SimOptions {
+                op_timeout_ms: 800.0,
+                ..Default::default()
+            },
+        );
+        sim.enable_history_recording();
+        sim.set_fault_plan(&legostore_types::FaultPlan {
+            seed: 9,
+            events: vec![
+                FaultEvent { at_ms: 100.0, kind: FaultKind::CrashDc { dc: la } },
+                FaultEvent { at_ms: 2_500.0, kind: FaultKind::RestartDc { dc: la } },
+            ],
+        });
+        sim.create_key("k", abd3_config(), &Value::filler(512));
+        let tokyo = GcpLocation::Tokyo.dc();
+        for i in 0..12 {
+            let kind = if i % 3 == 0 { OpKind::Put } else { OpKind::Get };
+            sim.schedule_request(i as f64 * 400.0, tokyo, kind, "k", 512);
+        }
+        let report = sim.run();
+        assert_eq!(report.operations.len(), 12);
+        // f = 1 and one DC crashed: every operation must still complete (liveness)...
+        assert_eq!(report.failures(), 0, "{:?}", report.operations);
+        // ...some of them only after a timeout-driven widened retry...
+        assert!(report.operations.iter().any(|o| o.timeout_retries > 0));
+        // ...and the recorded history must be linearizable (safety).
+        let histories = report.histories.as_ref().expect("recording enabled");
+        assert!(histories.len("k") > 0);
+        assert!(histories.check_all().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_slow_dc_inflates_latency_without_failures() {
+        use legostore_types::{FaultEvent, FaultKind};
+        let run = |extra_ms: f64| {
+            let mut sim = Simulation::new(gcp());
+            sim.set_fault_plan(&legostore_types::FaultPlan {
+                seed: 1,
+                events: vec![FaultEvent {
+                    at_ms: 0.0,
+                    kind: FaultKind::SlowDc { dc: GcpLocation::LosAngeles.dc(), extra_ms },
+                }],
+            });
+            sim.create_key("k", abd3_config(), &Value::filler(256));
+            for i in 0..6 {
+                sim.schedule_request(i as f64 * 500.0, GcpLocation::Tokyo.dc(), OpKind::Get, "k", 256);
+            }
+            sim.run()
+        };
+        let slow = run(120.0);
+        let clean = run(0.0);
+        assert_eq!(slow.failures(), 0);
+        // LA is in the majority quorum for Tokyo, so its replies gate every phase.
+        let slow_mean = slow.latency(None, None, None, None).mean_ms;
+        let clean_mean = clean.latency(None, None, None, None).mean_ms;
+        assert!(
+            slow_mean >= clean_mean + 100.0,
+            "slow-DC delay must surface in latency: {slow_mean} vs {clean_mean}"
+        );
     }
 
     #[test]

@@ -22,6 +22,16 @@ pub enum StoreError {
         /// Responses actually received before the deadline.
         received: usize,
     },
+    /// The operation exhausted every retry attempt without ever assembling a quorum —
+    /// more than `f` hosting data centers stayed unreachable (crashed, partitioned away
+    /// or silent) across all attempts. Unlike [`StoreError::QuorumTimeout`] (one attempt
+    /// missed its deadline; retrying may succeed), this is the client's terminal verdict.
+    QuorumUnreachable {
+        /// Operation attempts made before giving up (initial + retries).
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<StoreError>,
+    },
     /// More than `f` hosting data centers are unavailable; the operation cannot terminate.
     TooManyFailures {
         /// Data centers observed as unavailable.
@@ -76,6 +86,9 @@ impl std::fmt::Display for StoreError {
             StoreError::QuorumTimeout { needed, received } => {
                 write!(f, "quorum timeout: needed {needed} responses, got {received}")
             }
+            StoreError::QuorumUnreachable { attempts, last } => {
+                write!(f, "quorum unreachable after {attempts} attempts (last: {last})")
+            }
             StoreError::TooManyFailures { failed, tolerated } => {
                 write!(f, "{failed} data centers failed, configuration tolerates {tolerated}")
             }
@@ -108,6 +121,10 @@ impl StoreError {
                 | StoreError::StaleConfiguration { .. }
                 | StoreError::OperationFailedByReconfig { .. }
                 | StoreError::Transport(_)
+                // Transient under faults: a finalized tag guarantees `k` coded elements
+                // exist at some quorum, so a read that gathered too few symbols (drops,
+                // crashed hosts inside its preferred quorum) succeeds on a widened retry.
+                | StoreError::DecodeFailed { .. }
         )
     }
 }
@@ -135,7 +152,15 @@ mod tests {
             current: ConfigEpoch(2)
         }
         .is_retryable());
+        assert!(StoreError::DecodeFailed { have: 1, need: 3 }.is_retryable());
         assert!(!StoreError::KeyNotFound(Key::from("x")).is_retryable());
         assert!(!StoreError::Internal("bug".into()).is_retryable());
+        // The terminal verdict after exhausting retries is, by definition, not retryable.
+        let terminal = StoreError::QuorumUnreachable {
+            attempts: 4,
+            last: Box::new(StoreError::QuorumTimeout { needed: 2, received: 1 }),
+        };
+        assert!(!terminal.is_retryable());
+        assert!(terminal.to_string().contains("4 attempts"));
     }
 }

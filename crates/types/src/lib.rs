@@ -13,11 +13,13 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod tag;
 pub mod value;
 
 pub use config::{Configuration, ConfigurationError, ProtocolKind, QuorumId, QuorumSpec};
 pub use error::{StoreError, StoreResult};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, LinkVerdict};
 pub use tag::{ClientId, Tag};
 pub use value::Value;
 

@@ -12,13 +12,18 @@
 //! * [`trace`] — an open-loop Poisson request generator turning a spec into a timestamped
 //!   request trace for the simulator / threaded runtime;
 //! * [`wikipedia`] — a synthetic stand-in for the Wikipedia trace with the same salient
-//!   features (read-mostly, Zipf-skewed popularity, two epochs with different client mixes).
+//!   features (read-mostly, Zipf-skewed popularity, two epochs with different client mixes);
+//! * [`fault`] — seed-driven generation of adversarial fault schedules
+//!   (`legostore_types::fault::FaultPlan`) bounded by a configuration's tolerance `f`,
+//!   feeding the linearizability-under-faults stress suites.
 
+pub mod fault;
 pub mod grid;
 pub mod spec;
 pub mod trace;
 pub mod wikipedia;
 
+pub use fault::{generate_fault_plan, FaultMenu, FaultPlanSpec};
 pub use grid::{basic_workloads, client_distribution, ClientDistribution};
 pub use spec::{ReadRatio, WorkloadSpec};
 pub use trace::{Request, TraceGenerator};

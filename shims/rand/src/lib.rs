@@ -190,6 +190,15 @@ impl SampleRange<f64> for std::ops::Range<f64> {
     }
 }
 
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let u: f64 = Standard::sample(rng);
+        start + u * (end - start)
+    }
+}
+
 impl SampleRange<f32> for std::ops::Range<f32> {
     fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
         assert!(self.start < self.end, "cannot sample empty range");
