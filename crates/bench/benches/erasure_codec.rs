@@ -1,6 +1,7 @@
 //! Microbenchmarks of the from-scratch Reed-Solomon codec used by CAS.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use legostore_erasure::gf256::{self, Kernel};
 use legostore_erasure::{decode_value, encode_value};
 
 fn bench_codec(c: &mut Criterion) {
@@ -22,5 +23,40 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec);
+/// The GF(256) multiply-accumulate kernel in isolation, per tier, so a regression in one
+/// tier is visible without the codec layers on top.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_mul_acc");
+    let src: Vec<u8> = (0..64 * 1024).map(|i| (i * 7 + 3) as u8).collect();
+    let mut dst = vec![0u8; src.len()];
+    for (tag, kernel) in [
+        ("scalar", Kernel::Scalar),
+        ("split", Kernel::Split),
+        ("simd", Kernel::Simd),
+    ] {
+        gf256::set_kernel(kernel);
+        group.bench_function(format!("{tag}_64KiB"), |b| {
+            b.iter(|| gf256::mul_acc_slice(black_box(&mut dst), black_box(&src), 0x53))
+        });
+    }
+    gf256::set_kernel(Kernel::Simd);
+    group.finish();
+}
+
+/// Worst-case decode: a 1 MiB value reconstructed entirely from parity symbols, so every
+/// data shard needs the full `k` multiply-accumulate passes plus the sub-matrix inversion.
+fn bench_all_parity_decode_1mib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure_worst_case");
+    let value = vec![0x5Au8; 1024 * 1024];
+    let (n, k) = (6usize, 3usize);
+    let shards = encode_value(&value, n, k).unwrap();
+    let parity_only: Vec<_> = shards[k..].to_vec();
+    assert_eq!(parity_only.len(), k);
+    group.bench_function("decode_all_parity_n6_k3_1MiB", |b| {
+        b.iter(|| decode_value(black_box(&parity_only), n, k).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_kernels, bench_all_parity_decode_1mib);
 criterion_main!(benches);

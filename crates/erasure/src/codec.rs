@@ -4,23 +4,51 @@
 //! distinct evaluation points; this makes the first `k` codeword symbols equal to the data
 //! shards (systematic) while preserving the MDS property that *any* `k` symbols suffice to
 //! reconstruct the data.
+//!
+//! # Codec lifecycle
+//!
+//! Building a codec runs the Vandermonde construction plus a `k x k` matrix inversion, and
+//! decoding from a symbol set that includes parity inverts another `k x k` sub-matrix.
+//! Neither belongs on the per-operation hot path, so:
+//!
+//! * [`ReedSolomon::cached`] returns a process-wide shared codec per `(n, k)` — the CAS
+//!   quorum loops hit the same handful of codes for every PUT/GET.
+//! * Each codec memoizes decode sub-matrix inverses keyed on the chosen row set
+//!   ([`ReedSolomon::decode_into`]), so steady-state decoding performs zero matrix math.
 
 use crate::gf256;
 use crate::matrix::Matrix;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Errors returned by the codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// Invalid code parameters (`k == 0`, `n < k`, or `n > 255`).
-    InvalidParameters { n: usize, k: usize },
+    InvalidParameters {
+        /// Requested code length.
+        n: usize,
+        /// Requested code dimension.
+        k: usize,
+    },
     /// Fewer than `k` distinct symbols were supplied to the decoder.
-    NotEnoughShards { have: usize, need: usize },
+    NotEnoughShards {
+        /// Distinct symbols supplied.
+        have: usize,
+        /// Symbols required (`k`).
+        need: usize,
+    },
     /// Supplied shards disagree in length.
     ShardLengthMismatch,
     /// A shard index was out of range or repeated.
     BadShardIndex(usize),
     /// The wrong number of data shards was supplied to `encode`.
-    WrongDataShardCount { have: usize, need: usize },
+    WrongDataShardCount {
+        /// Data shards supplied.
+        have: usize,
+        /// Data shards required (`k`).
+        need: usize,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -41,17 +69,42 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Process-wide `(n, k)` → codec cache behind [`ReedSolomon::cached`].
+type CodecMap = HashMap<(usize, usize), Arc<ReedSolomon>>;
+static CODECS: OnceLock<Mutex<CodecMap>> = OnceLock::new();
+
+/// Decode sub-matrix inverses are memoized per codec; the cache is bounded so an
+/// adversarial sequence of row sets cannot grow it without limit (`C(n, k)` can be large).
+const MAX_CACHED_INVERSES: usize = 128;
+
 /// A systematic Reed–Solomon code with length `n` and dimension `k`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ReedSolomon {
     n: usize,
     k: usize,
     /// `n x k` encoding matrix whose top `k x k` block is the identity.
     encode_matrix: Matrix,
+    /// Chosen-row-set → inverse of the corresponding encode sub-matrix. Shared across
+    /// clones of this codec (an inverse is a pure function of the row set).
+    inverse_cache: Arc<Mutex<HashMap<Vec<u8>, Arc<Matrix>>>>,
+}
+
+impl Clone for ReedSolomon {
+    fn clone(&self) -> Self {
+        ReedSolomon {
+            n: self.n,
+            k: self.k,
+            encode_matrix: self.encode_matrix.clone(),
+            inverse_cache: Arc::clone(&self.inverse_cache),
+        }
+    }
 }
 
 impl ReedSolomon {
     /// Creates an `(n, k)` code. `1 <= k <= n <= 255`.
+    ///
+    /// Construction is comparatively expensive (Vandermonde build + matrix inversion);
+    /// per-operation callers should prefer [`ReedSolomon::cached`].
     pub fn new(n: usize, k: usize) -> Result<Self, CodecError> {
         if k == 0 || n < k || n > 255 {
             return Err(CodecError::InvalidParameters { n, k });
@@ -62,7 +115,32 @@ impl ReedSolomon {
             .inverse()
             .expect("top Vandermonde block is always invertible");
         let encode_matrix = vander.mul(&top_inv);
-        Ok(ReedSolomon { n, k, encode_matrix })
+        Ok(ReedSolomon {
+            n,
+            k,
+            encode_matrix,
+            inverse_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Returns the process-wide shared `(n, k)` codec, constructing it on first use.
+    ///
+    /// This is the per-operation entry point: every encode/decode of the same code reuses
+    /// one codec (and its memoized decode inverses) instead of re-running the Vandermonde
+    /// construction and matrix inversion per call.
+    pub fn cached(n: usize, k: usize) -> Result<Arc<ReedSolomon>, CodecError> {
+        let cache = CODECS.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(rs) = cache.lock().expect("codec cache poisoned").get(&(n, k)) {
+            return Ok(Arc::clone(rs));
+        }
+        // Construct outside the lock; a racing construction of the same code is harmless
+        // (last insert wins, both are identical).
+        let rs = Arc::new(ReedSolomon::new(n, k)?);
+        cache
+            .lock()
+            .expect("codec cache poisoned")
+            .insert((n, k), Arc::clone(&rs));
+        Ok(rs)
     }
 
     /// Code length (total number of codeword symbols).
@@ -80,6 +158,43 @@ impl ReedSolomon {
         self.encode_matrix.row(i)
     }
 
+    /// Computes the `n - k` parity symbols for `k` equal-length data shards, writing them
+    /// into `parity` (which must hold `n - k` slices of the data shard length).
+    ///
+    /// This is the allocation-free encode primitive: callers that lay out the codeword in
+    /// one contiguous buffer (see `shares::encode_value`) pass borrowed sub-slices and no
+    /// intermediate shard vectors exist.
+    pub fn encode_parity(
+        &self,
+        data: &[&[u8]],
+        parity: &mut [&mut [u8]],
+    ) -> Result<(), CodecError> {
+        if data.len() != self.k {
+            return Err(CodecError::WrongDataShardCount {
+                have: data.len(),
+                need: self.k,
+            });
+        }
+        if parity.len() != self.n - self.k {
+            return Err(CodecError::WrongDataShardCount {
+                have: parity.len(),
+                need: self.n - self.k,
+            });
+        }
+        let len = data.first().map(|d| d.len()).unwrap_or(0);
+        if data.iter().any(|d| d.len() != len) || parity.iter().any(|p| p.len() != len) {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        for (p, out) in parity.iter_mut().enumerate() {
+            let coeffs = self.encode_matrix.row(self.k + p);
+            out.fill(0);
+            for (j, d) in data.iter().enumerate() {
+                gf256::mul_acc_slice(out, d, coeffs[j]);
+            }
+        }
+        Ok(())
+    }
+
     /// Encodes `k` equal-length data shards into `n` codeword symbols.
     ///
     /// The first `k` output symbols are byte-identical to the inputs (systematic code); the
@@ -92,22 +207,16 @@ impl ReedSolomon {
             });
         }
         let len = data.first().map(|d| d.len()).unwrap_or(0);
-        if data.iter().any(|d| d.len() != len) {
-            return Err(CodecError::ShardLengthMismatch);
+        let mut out: Vec<Vec<u8>> = data.to_vec();
+        out.resize(self.n, Vec::new());
+        let (_, parity_part) = out.split_at_mut(self.k);
+        for p in parity_part.iter_mut() {
+            p.resize(len, 0);
         }
-        let mut out = Vec::with_capacity(self.n);
-        for row in 0..self.n {
-            if row < self.k {
-                out.push(data[row].clone());
-                continue;
-            }
-            let mut shard = vec![0u8; len];
-            let coeffs = self.encode_matrix.row(row);
-            for (j, d) in data.iter().enumerate() {
-                gf256::mul_acc_slice(&mut shard, d, coeffs[j]);
-            }
-            out.push(shard);
-        }
+        let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut parity_refs: Vec<&mut [u8]> =
+            parity_part.iter_mut().map(|p| p.as_mut_slice()).collect();
+        self.encode_parity(&data_refs, &mut parity_refs)?;
         Ok(out)
     }
 
@@ -140,19 +249,20 @@ impl ReedSolomon {
         Ok(shard)
     }
 
-    /// Recovers the `k` data shards from any `k` (or more) codeword symbols.
-    ///
-    /// `shards` maps codeword index → shard bytes; extra shards beyond `k` are ignored.
-    pub fn decode_data(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodecError> {
-        // Deduplicate and validate indices.
-        let mut seen = std::collections::BTreeSet::new();
-        let mut chosen: Vec<(usize, &Vec<u8>)> = Vec::new();
-        for (idx, data) in shards {
-            if *idx >= self.n {
-                return Err(CodecError::BadShardIndex(*idx));
+    /// Validates `shards`, picking the first `k` distinct in-range symbols. Returns the
+    /// chosen `(index, bytes)` pairs and the common shard length.
+    #[allow(clippy::type_complexity)]
+    fn choose<'a>(
+        &self,
+        shards: &[(usize, &'a [u8])],
+    ) -> Result<(Vec<(usize, &'a [u8])>, usize), CodecError> {
+        let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
+        for &(idx, data) in shards {
+            if idx >= self.n {
+                return Err(CodecError::BadShardIndex(idx));
             }
-            if seen.insert(*idx) {
-                chosen.push((*idx, data));
+            if !chosen.iter().any(|(i, _)| *i == idx) {
+                chosen.push((idx, data));
             }
             if chosen.len() == self.k {
                 break;
@@ -168,29 +278,80 @@ impl ReedSolomon {
         if chosen.iter().any(|(_, d)| d.len() != len) {
             return Err(CodecError::ShardLengthMismatch);
         }
-        // Fast path: all k data shards present.
+        Ok((chosen, len))
+    }
+
+    /// Returns the (memoized) inverse of the encode sub-matrix for the given row set.
+    fn decode_inverse(&self, rows: &[usize]) -> Arc<Matrix> {
+        let key: Vec<u8> = rows.iter().map(|&r| r as u8).collect();
+        {
+            let cache = self.inverse_cache.lock().expect("inverse cache poisoned");
+            if let Some(inv) = cache.get(&key) {
+                return Arc::clone(inv);
+            }
+        }
+        let sub = self.encode_matrix.select_rows(rows);
+        let inv = Arc::new(
+            sub.inverse()
+                .expect("any k rows of an MDS encode matrix are invertible"),
+        );
+        let mut cache = self.inverse_cache.lock().expect("inverse cache poisoned");
+        if cache.len() >= MAX_CACHED_INVERSES {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&inv));
+        inv
+    }
+
+    /// Recovers the `k` data shards from any `k` (or more) codeword symbols, appending
+    /// them (in data order, concatenated) to `out`.
+    ///
+    /// `shards` maps codeword index → shard bytes; extra shards beyond `k` are ignored.
+    /// This is the allocation-free decode primitive: when all `k` data shards are present
+    /// the bytes are copied straight into `out` with no matrix math; otherwise the
+    /// memoized sub-matrix inverse drives `k` multiply-accumulate passes per data shard.
+    /// `out` is typically a pooled buffer (see `shares::decode_value`).
+    pub fn decode_into(
+        &self,
+        shards: &[(usize, &[u8])],
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let (mut chosen, len) = self.choose(shards)?;
+        let base = out.len();
+        // Fast path: all k data shards present — place each at its slot, no coding.
         if chosen.iter().all(|(i, _)| *i < self.k) {
-            let mut out: Vec<Option<Vec<u8>>> = vec![None; self.k];
-            for (i, d) in &chosen {
-                out[*i] = Some((*d).clone());
+            chosen.sort_unstable_by_key(|(i, _)| *i);
+            for (_, d) in &chosen {
+                out.extend_from_slice(d);
             }
-            if out.iter().all(|o| o.is_some()) {
-                return Ok(out.into_iter().map(|o| o.unwrap()).collect());
-            }
+            return Ok(());
         }
         // General path: invert the sub-matrix of encode rows for the chosen symbols.
         let rows: Vec<usize> = chosen.iter().map(|(i, _)| *i).collect();
-        let sub = self.encode_matrix.select_rows(&rows);
-        let inv = sub
-            .inverse()
-            .expect("any k rows of an MDS encode matrix are invertible");
-        let mut out = vec![vec![0u8; len]; self.k];
-        for (data_idx, out_shard) in out.iter_mut().enumerate() {
+        let inv = self.decode_inverse(&rows);
+        out.resize(base + self.k * len, 0);
+        let recovered = &mut out[base..];
+        for (data_idx, out_shard) in recovered.chunks_exact_mut(len.max(1)).enumerate() {
             for (col, (_, sym)) in chosen.iter().enumerate() {
                 gf256::mul_acc_slice(out_shard, sym, inv.get(data_idx, col));
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Recovers the `k` data shards from any `k` (or more) codeword symbols.
+    ///
+    /// Compatibility wrapper over [`ReedSolomon::decode_into`] returning owned shards.
+    pub fn decode_data(&self, shards: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, CodecError> {
+        let borrowed: Vec<(usize, &[u8])> =
+            shards.iter().map(|(i, d)| (*i, d.as_slice())).collect();
+        let (_, len) = self.choose(&borrowed)?;
+        let mut joined = Vec::with_capacity(self.k * len);
+        self.decode_into(&borrowed, &mut joined)?;
+        if len == 0 {
+            return Ok(vec![Vec::new(); self.k]);
+        }
+        Ok(joined.chunks_exact(len).map(|c| c.to_vec()).collect())
     }
 
     /// Reconstructs *all* `n` codeword symbols from any `k` of them.
@@ -220,6 +381,23 @@ mod tests {
         assert!(ReedSolomon::new(300, 3).is_err());
         assert!(ReedSolomon::new(5, 3).is_ok());
         assert!(ReedSolomon::new(1, 1).is_ok());
+        assert!(ReedSolomon::cached(5, 0).is_err());
+    }
+
+    #[test]
+    fn cached_codecs_are_shared() {
+        let a = ReedSolomon::cached(5, 3).unwrap();
+        let b = ReedSolomon::cached(5, 3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ReedSolomon::cached(4, 2).unwrap();
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.k(), 2);
+        // The cached codec encodes identically to a fresh one.
+        let data = random_data(3, 64, 9);
+        assert_eq!(
+            a.encode(&data).unwrap(),
+            ReedSolomon::new(5, 3).unwrap().encode(&data).unwrap()
+        );
     }
 
     #[test]
@@ -229,6 +407,30 @@ mod tests {
         let shards = rs.encode(&data).unwrap();
         assert_eq!(shards.len(), 6);
         assert_eq!(&shards[..3], &data[..]);
+    }
+
+    #[test]
+    fn encode_parity_matches_encode() {
+        let rs = ReedSolomon::new(7, 4).unwrap();
+        let data = random_data(4, 53, 8);
+        let all = rs.encode(&data).unwrap();
+        let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut parity = vec![vec![0xFFu8; 53]; 3];
+        let mut parity_refs: Vec<&mut [u8]> =
+            parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        rs.encode_parity(&data_refs, &mut parity_refs).unwrap();
+        drop(parity_refs);
+        assert_eq!(&parity[..], &all[4..]);
+        // Shape errors.
+        let mut parity_refs: Vec<&mut [u8]> =
+            parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        assert!(rs.encode_parity(&data_refs[..3], &mut parity_refs).is_err());
+        let mut short = vec![vec![0u8; 10]; 3];
+        let mut short_refs: Vec<&mut [u8]> = short.iter_mut().map(|p| p.as_mut_slice()).collect();
+        assert_eq!(
+            rs.encode_parity(&data_refs, &mut short_refs),
+            Err(CodecError::ShardLengthMismatch)
+        );
     }
 
     #[test]
@@ -264,6 +466,25 @@ mod tests {
     }
 
     #[test]
+    fn repeated_decodes_hit_the_inverse_cache() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = random_data(3, 32, 11);
+        let shards = rs.encode(&data).unwrap();
+        let subset: Vec<(usize, Vec<u8>)> =
+            [2usize, 3, 4].iter().map(|&i| (i, shards[i].clone())).collect();
+        for _ in 0..3 {
+            assert_eq!(rs.decode_data(&subset).unwrap(), data);
+        }
+        assert_eq!(rs.inverse_cache.lock().unwrap().len(), 1);
+        // A clone shares the cache.
+        let clone = rs.clone();
+        let other: Vec<(usize, Vec<u8>)> =
+            [0usize, 3, 4].iter().map(|&i| (i, shards[i].clone())).collect();
+        assert_eq!(clone.decode_data(&other).unwrap(), data);
+        assert_eq!(rs.inverse_cache.lock().unwrap().len(), 2);
+    }
+
+    #[test]
     fn decode_fails_with_fewer_than_k() {
         let rs = ReedSolomon::new(5, 3).unwrap();
         let data = random_data(3, 16, 4);
@@ -289,6 +510,20 @@ mod tests {
             rs.decode_data(&subset),
             Err(CodecError::NotEnoughShards { .. })
         ));
+    }
+
+    #[test]
+    fn data_shards_out_of_order_fast_path() {
+        // The all-data fast path must reorder by index, not by arrival.
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = random_data(3, 24, 12);
+        let shards = rs.encode(&data).unwrap();
+        let subset = vec![
+            (2usize, shards[2].clone()),
+            (0, shards[0].clone()),
+            (1, shards[1].clone()),
+        ];
+        assert_eq!(rs.decode_data(&subset).unwrap(), data);
     }
 
     #[test]

@@ -5,23 +5,45 @@
 //! encoded into `n` codeword symbols with [`ReedSolomon`]. Each symbol is tagged with its
 //! index so that the decoder can invert the right rows of the generator matrix regardless of
 //! which `k` data centers respond.
+//!
+//! # Hot-path layout
+//!
+//! [`encode_value`] lays the whole codeword out in **one** contiguous allocation: header,
+//! value, and padding fill the first `k·slen` bytes, parity is computed in place into the
+//! remaining `(n-k)·slen`, and the buffer is converted to [`Bytes`] exactly once. Each
+//! [`Shard`] is then a zero-copy [`Bytes::slice`] window into that buffer, so fanning the
+//! `n` symbols out to `n` data centers clones refcounts, never bytes. [`decode_value`]
+//! borrows shard bytes in place, reassembles into a pooled per-thread scratch buffer, and
+//! performs a single exact-size copy out.
+//!
+//! The pre-optimization paths are kept as [`encode_value_reference`] /
+//! [`decode_value_reference`] so the perf harness can measure the baseline and the current
+//! implementation in the same binary.
 
 use crate::codec::{CodecError, ReedSolomon};
+use bytes::Bytes;
+use std::cell::RefCell;
 
 /// One codeword symbol together with its index in the codeword.
+///
+/// The symbol bytes are a [`Bytes`] handle: cloning a shard (e.g. once per destination DC
+/// in the quorum fan-out) bumps a refcount instead of copying the payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Shard {
     /// Index of this symbol (0-based; equals the position of the hosting DC in the
     /// configuration's placement list).
     pub index: usize,
-    /// Symbol bytes.
-    pub data: Vec<u8>,
+    /// Symbol bytes (shared, immutable).
+    pub data: Bytes,
 }
 
 impl Shard {
-    /// Creates a shard.
-    pub fn new(index: usize, data: Vec<u8>) -> Self {
-        Shard { index, data }
+    /// Creates a shard. Accepts anything convertible to [`Bytes`] (`Vec<u8>`, `Bytes`, …).
+    pub fn new(index: usize, data: impl Into<Bytes>) -> Self {
+        Shard {
+            index,
+            data: data.into(),
+        }
     }
 
     /// Size of the symbol in bytes.
@@ -37,6 +59,15 @@ impl Shard {
 
 const LEN_HEADER: usize = 8;
 
+/// Pooled decode scratch buffers above this capacity are dropped instead of retained.
+const MAX_POOLED_SCRATCH: usize = 1 << 22; // 4 MiB
+
+thread_local! {
+    /// Per-thread reassembly buffer reused across [`decode_value`] calls so steady-state
+    /// decoding allocates only the returned value.
+    static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Size in bytes of each codeword symbol for a value of `value_len` bytes under an
 /// `(_, k)` code. This is what the cost model charges per symbol transfer (`o/k` in the
 /// paper, plus the negligible 8-byte header).
@@ -46,7 +77,62 @@ pub fn shard_len(value_len: usize, k: usize) -> usize {
 }
 
 /// Encodes `value` into `n` codeword symbols from which any `k` reconstruct the value.
+///
+/// All `n` symbols are views into one shared allocation (see the module docs); downstream
+/// clones of the returned shards are refcount bumps.
 pub fn encode_value(value: &[u8], n: usize, k: usize) -> Result<Vec<Shard>, CodecError> {
+    let rs = ReedSolomon::cached(n, k)?;
+    let slen = shard_len(value.len(), k);
+    // One allocation for the whole codeword: [header | value | zero padding | parity].
+    let mut buf = vec![0u8; n * slen];
+    buf[..LEN_HEADER].copy_from_slice(&(value.len() as u64).to_le_bytes());
+    buf[LEN_HEADER..LEN_HEADER + value.len()].copy_from_slice(value);
+    let (data_part, parity_part) = buf.split_at_mut(k * slen);
+    let data_refs: Vec<&[u8]> = data_part.chunks_exact(slen).collect();
+    let mut parity_refs: Vec<&mut [u8]> = parity_part.chunks_exact_mut(slen).collect();
+    rs.encode_parity(&data_refs, &mut parity_refs)?;
+    let all = Bytes::from(buf);
+    Ok((0..n)
+        .map(|i| Shard::new(i, all.slice(i * slen..(i + 1) * slen)))
+        .collect())
+}
+
+/// Reconstructs the original value from any `k` distinct shards of an `(n, k)` codeword.
+///
+/// Shard bytes are borrowed in place; the only allocation in steady state is the returned
+/// value (reassembly happens in a pooled per-thread scratch buffer).
+pub fn decode_value(shards: &[Shard], n: usize, k: usize) -> Result<Vec<u8>, CodecError> {
+    let rs = ReedSolomon::cached(n, k)?;
+    let pairs: Vec<(usize, &[u8])> = shards.iter().map(|s| (s.index, &s.data[..])).collect();
+    SCRATCH.with(|cell| {
+        let mut joined = cell.borrow_mut();
+        joined.clear();
+        rs.decode_into(&pairs, &mut joined)?;
+        if joined.len() < LEN_HEADER {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        let mut len_bytes = [0u8; LEN_HEADER];
+        len_bytes.copy_from_slice(&joined[..LEN_HEADER]);
+        let value_len = u64::from_le_bytes(len_bytes) as usize;
+        if joined.len() < LEN_HEADER + value_len {
+            return Err(CodecError::ShardLengthMismatch);
+        }
+        let value = joined[LEN_HEADER..LEN_HEADER + value_len].to_vec();
+        if joined.capacity() > MAX_POOLED_SCRATCH {
+            *joined = Vec::new();
+        }
+        Ok(value)
+    })
+}
+
+/// Pre-optimization [`encode_value`]: constructs the codec per call and materializes every
+/// shard as its own `Vec<u8>`.
+///
+/// Kept (not as dead code — the perf harness runs it) so `perfbench` can measure the
+/// baseline and the optimized path in the same binary. Combine with
+/// [`crate::gf256::set_kernel`]`(`[`crate::gf256::Kernel::Scalar`]`)` to reproduce the
+/// full pre-change configuration.
+pub fn encode_value_reference(value: &[u8], n: usize, k: usize) -> Result<Vec<Shard>, CodecError> {
     let rs = ReedSolomon::new(n, k)?;
     let slen = shard_len(value.len(), k);
     let mut padded = Vec::with_capacity(slen * k);
@@ -63,10 +149,16 @@ pub fn encode_value(value: &[u8], n: usize, k: usize) -> Result<Vec<Shard>, Code
         .collect())
 }
 
-/// Reconstructs the original value from any `k` distinct shards of an `(n, k)` codeword.
-pub fn decode_value(shards: &[Shard], n: usize, k: usize) -> Result<Vec<u8>, CodecError> {
+/// Pre-optimization [`decode_value`]: constructs the codec per call (so every decode that
+/// touches parity re-inverts the sub-matrix) and deep-copies each shard before decoding.
+///
+/// See [`encode_value_reference`] for why this is kept.
+pub fn decode_value_reference(shards: &[Shard], n: usize, k: usize) -> Result<Vec<u8>, CodecError> {
     let rs = ReedSolomon::new(n, k)?;
-    let pairs: Vec<(usize, Vec<u8>)> = shards.iter().map(|s| (s.index, s.data.clone())).collect();
+    let pairs: Vec<(usize, Vec<u8>)> = shards
+        .iter()
+        .map(|s| (s.index, s.data.to_vec()))
+        .collect();
     let data = rs.decode_data(&pairs)?;
     let mut joined = Vec::with_capacity(data.len() * data.first().map(|d| d.len()).unwrap_or(0));
     for d in &data {
@@ -146,6 +238,86 @@ mod tests {
         for s in &shards {
             assert_eq!(s.len(), expect);
             assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn shards_share_one_allocation() {
+        // All n symbols are windows into one contiguous buffer: symbol i+1 starts exactly
+        // slen bytes after symbol i.
+        let value = vec![3u8; 500];
+        let shards = encode_value(&value, 5, 3).unwrap();
+        let slen = shard_len(500, 3);
+        let base = shards[0].data.as_ptr();
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.data.as_ptr() as usize, base as usize + i * slen);
+        }
+        // Cloning a shard is a refcount bump onto the same storage.
+        let c = shards[2].clone();
+        assert_eq!(c.data.as_ptr(), shards[2].data.as_ptr());
+    }
+
+    #[test]
+    fn reference_paths_agree_with_fast_paths() {
+        for &(n, k) in &[(5usize, 3usize), (4, 2), (8, 1), (6, 5)] {
+            for len in [0usize, 1, 129, 2048] {
+                let value: Vec<u8> = (0..len).map(|i| (i * 13 + 5) as u8).collect();
+                let fast = encode_value(&value, n, k).unwrap();
+                let slow = encode_value_reference(&value, n, k).unwrap();
+                assert_eq!(fast, slow, "encode mismatch n={n} k={k} len={len}");
+                let from_fast = decode_value(&fast[n - k..], n, k).unwrap();
+                let from_slow = decode_value_reference(&fast[n - k..], n, k).unwrap();
+                assert_eq!(from_fast, value);
+                assert_eq!(from_slow, value);
+            }
+        }
+    }
+
+    /// FNV-1a 64 over all shard bytes concatenated in index order.
+    fn fingerprint(shards: &[Shard]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for s in shards {
+            for &b in &s.data[..] {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    fn filler(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn golden_encode_fingerprints_unchanged() {
+        // Fingerprints recorded from the pre-optimization implementation (per-call codec,
+        // scalar GF kernels). Any codeword-level behavior change — generator matrix, header
+        // layout, padding, shard order — shows up here.
+        #[rustfmt::skip]
+        const GOLDEN: &[((usize, usize), usize, u64)] = &[
+            ((5, 3), 0, 0x2eb09ce4c4320587), ((5, 3), 1, 0x6b74dc347a360840),
+            ((5, 3), 317, 0xc36720c3d5ce2cc1), ((5, 3), 4096, 0x6c6c5a6fc40a5c91),
+            ((5, 3), 100000, 0xd4a921e996a080cf),
+            ((4, 2), 0, 0x88201fb960ff6465), ((4, 2), 1, 0x290bd10689fa403d),
+            ((4, 2), 317, 0x4b4c9852f1ca573d), ((4, 2), 4096, 0x48d6091cb4b7c915),
+            ((4, 2), 100000, 0x4bd06e5805364ea5),
+            ((6, 4), 0, 0x5467b0da1d106495), ((6, 4), 1, 0xc50d47f2ac150d46),
+            ((6, 4), 317, 0x3c903451bfcaf661), ((6, 4), 4096, 0xd0b4648496eddafd),
+            ((6, 4), 100000, 0xecbe56d6b519f45d),
+            ((9, 6), 0, 0x77e875b1c7b6a32d), ((9, 6), 1, 0x2bb36ccd4d0c6edd),
+            ((9, 6), 317, 0x14892a0ceb3a816e), ((9, 6), 4096, 0x368d21b0802bbedf),
+            ((9, 6), 100000, 0x6cc5830aff6329b2),
+            ((8, 1), 0, 0xb9b23f3a46fd0825), ((8, 1), 1, 0x4b2fb740e63e0545),
+            ((8, 1), 317, 0x23069e16a554573d), ((8, 1), 4096, 0xa22d7bbd8e303025),
+            ((8, 1), 100000, 0xf56d22c3e45aac35),
+        ];
+        for &((n, k), len, want) in GOLDEN {
+            let value = filler(len);
+            let fast = fingerprint(&encode_value(&value, n, k).unwrap());
+            assert_eq!(fast, want, "fast encode fingerprint n={n} k={k} len={len}");
+            let slow = fingerprint(&encode_value_reference(&value, n, k).unwrap());
+            assert_eq!(slow, want, "reference encode fingerprint n={n} k={k} len={len}");
         }
     }
 

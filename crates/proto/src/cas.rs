@@ -12,6 +12,7 @@
 
 use crate::msg::{OpOutcome, OpProgress, Outbound, ProtoMsg, ProtoReply};
 use crate::quorum::{widen_preferred_quorums, QuorumTracker};
+use bytes::Bytes;
 use legostore_erasure::{decode_value, encode_value, Shard};
 use legostore_types::{
     ClientId, ConfigEpoch, Configuration, DcId, Key, QuorumId, StoreError, Tag, Value,
@@ -30,13 +31,14 @@ pub enum Label {
 /// Per-key server state for CAS.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CasKeyState {
-    /// Version history: tag → (codeword symbol if stored locally, label).
-    triples: BTreeMap<Tag, (Option<Vec<u8>>, Label)>,
+    /// Version history: tag → (codeword symbol if stored locally, label). Symbols are
+    /// shared [`Bytes`] handles, so storing a received shard never copies it.
+    triples: BTreeMap<Tag, (Option<Bytes>, Label)>,
 }
 
 impl CasKeyState {
     /// Initial state holding this server's codeword symbol of the initial value, finalized.
-    pub fn new(tag: Tag, shard: Option<Vec<u8>>) -> Self {
+    pub fn new(tag: Tag, shard: Option<Bytes>) -> Self {
         let mut triples = BTreeMap::new();
         triples.insert(tag, (shard, Label::Fin));
         CasKeyState { triples }
@@ -827,10 +829,10 @@ mod tests {
 
     #[test]
     fn garbage_collection_respects_keep_recent() {
-        let mut s = CasKeyState::new(Tag::INITIAL, Some(vec![0u8; 8]));
+        let mut s = CasKeyState::new(Tag::INITIAL, Some(vec![0u8; 8].into()));
         for i in 1..=4u64 {
             let t = Tag::new(i, ClientId(1));
-            s.handle(&ProtoMsg::CasPreWrite { tag: t, shard: vec![0u8; 8] });
+            s.handle(&ProtoMsg::CasPreWrite { tag: t, shard: vec![0u8; 8].into() });
             s.handle(&ProtoMsg::CasFinalizeWrite { tag: t });
         }
         assert_eq!(s.version_count(), 5);

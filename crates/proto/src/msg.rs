@@ -6,6 +6,7 @@
 //! `o_m` bytes, value-carrying messages additionally count the value or codeword-symbol
 //! size).
 
+use bytes::Bytes;
 use legostore_types::{ConfigEpoch, Configuration, DcId, Key, StoreError, Tag, Value};
 
 /// A request sent to a server, addressed to one key and one configuration epoch.
@@ -31,8 +32,9 @@ pub enum ProtoMsg {
     CasPreWrite {
         /// Tag of the new version.
         tag: Tag,
-        /// This server's codeword symbol.
-        shard: Vec<u8>,
+        /// This server's codeword symbol (shared handle — fanning one encode out to `n`
+        /// servers clones refcounts, not bytes).
+        shard: Bytes,
     },
     /// CAS PUT phase 3: upgrade the label of `tag` to `fin`.
     CasFinalizeWrite {
@@ -82,7 +84,7 @@ pub enum ReconfigPayload {
     /// Full value (new configuration runs ABD).
     Value(Value),
     /// One codeword symbol (new configuration runs CAS).
-    Shard(Vec<u8>),
+    Shard(Bytes),
 }
 
 /// A reply from a server.
@@ -107,7 +109,7 @@ pub enum ProtoReply {
         /// Tag the symbol belongs to.
         tag: Tag,
         /// The stored symbol, or `None` if the server only has the metadata.
-        shard: Option<Vec<u8>>,
+        shard: Option<Bytes>,
     },
     /// The key was reconfigured; the client must retry against the attached configuration.
     OperationFail {
@@ -233,7 +235,7 @@ mod tests {
         let v = Value::filler(1024);
         let m = ProtoMsg::AbdWrite { tag: Tag::INITIAL, value: v.clone() };
         assert_eq!(m.wire_size(100), 1124);
-        let m = ProtoMsg::CasPreWrite { tag: Tag::INITIAL, shard: vec![0u8; 344] };
+        let m = ProtoMsg::CasPreWrite { tag: Tag::INITIAL, shard: vec![0u8; 344].into() };
         assert_eq!(m.wire_size(100), 444);
         let config = Configuration::abd_majority(vec![DcId(0), DcId(1), DcId(2)], 1);
         let m = ProtoMsg::ReconfigWrite {
@@ -244,7 +246,7 @@ mod tests {
         assert_eq!(m.wire_size(100), 1124);
         let m = ProtoMsg::ReconfigWrite {
             tag: Tag::INITIAL,
-            data: ReconfigPayload::Shard(vec![0u8; 10]),
+            data: ReconfigPayload::Shard(vec![0u8; 10].into()),
             config: Box::new(config),
         };
         assert_eq!(m.wire_size(100), 110);
@@ -257,7 +259,7 @@ mod tests {
         assert_eq!(ProtoReply::TagOnly { tag: Tag::new(3, ClientId(1)) }.wire_size(100), 100);
         assert_eq!(ProtoReply::Ack.wire_size(100), 100);
         assert_eq!(
-            ProtoReply::CasShard { tag: Tag::INITIAL, shard: Some(vec![0; 50]) }.wire_size(100),
+            ProtoReply::CasShard { tag: Tag::INITIAL, shard: Some(vec![0u8; 50].into()) }.wire_size(100),
             150
         );
         assert_eq!(ProtoReply::CasShard { tag: Tag::INITIAL, shard: None }.wire_size(100), 100);

@@ -173,10 +173,10 @@ impl DcServer {
             // Mismatched payloads are coerced: a value installed under CAS is treated as the
             // degenerate k=1 symbol, a shard under ABD as an opaque value.
             (ProtocolKind::Abd, ReconfigPayload::Shard(s)) => {
-                ProtoState::Abd(AbdKeyState::new(tag, Value::from(s)))
+                ProtoState::Abd(AbdKeyState::new(tag, Value::new(s)))
             }
             (ProtocolKind::Cas, ReconfigPayload::Value(v)) => {
-                ProtoState::Cas(CasKeyState::new(tag, Some(v.as_bytes().to_vec())))
+                ProtoState::Cas(CasKeyState::new(tag, Some(v.bytes())))
             }
         };
         self.keys.entry(key).or_default().insert(
@@ -613,7 +613,7 @@ mod tests {
             epoch: ConfigEpoch(4),
             msg: ProtoMsg::ReconfigWrite {
                 tag: Tag::new(8, ClientId(2)),
-                data: ReconfigPayload::Shard(vec![1, 2, 3]),
+                data: ReconfigPayload::Shard(vec![1u8, 2, 3].into()),
                 config: Box::new(config.clone()),
             },
         });
@@ -642,7 +642,7 @@ mod tests {
             Key::from("k"),
             config,
             Tag::new(6, ClientId(4)),
-            ReconfigPayload::Shard(vec![0u8; 16]),
+            ReconfigPayload::Shard(vec![0u8; 16].into()),
         );
         let replies = s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) }));
         assert_eq!(replies[0].reply, ProtoReply::TagOnly { tag: Tag::new(6, ClientId(4)) });
