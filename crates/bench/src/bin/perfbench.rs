@@ -8,21 +8,29 @@
 //!   the pre-optimization baseline (per-call codec construction + scalar GF kernels) and
 //!   the current implementation (cached codec, single-allocation encode, SIMD kernels),
 //!   with the speedup ratio per case.
-//! * `BENCH_e2e.json` — end-to-end PUT/GET throughput and latency on an in-process
-//!   virtual-time deployment. Wall-clock ops/sec reflects CPU cost per operation (nothing
-//!   sleeps under the virtual clock); virtual-time p50/p99 reflect the modeled RTTs.
+//! * `BENCH_e2e.json` — end-to-end PUT/GET throughput and latency across a
+//!   `transport × clock` grid: the in-process channel transport under the virtual clock
+//!   (scalar vs SIMD GF kernels), the same channel transport under a real clock, and the
+//!   TCP loopback transport (per-DC server threads behind real sockets). Virtual-clock
+//!   modes measure CPU cost per operation (nothing sleeps; p50/p99 reflect modeled RTTs);
+//!   real-clock modes run with modeled latencies scaled down to ~1% so the inproc vs TCP
+//!   delta isolates the wire-path overhead (framing, syscalls, reader-thread handoff).
 //!
 //! Usage: `perfbench [--smoke] [--erasure-only] [--out-dir DIR]`.
 //! `--smoke` shrinks sizes and iteration counts so CI can validate the schema in seconds.
 
-use legostore_cloud::GcpLocation;
+use legostore_cloud::{CloudModel, GcpLocation};
 use legostore_core::{Clock, Cluster, ClusterOptions};
 use legostore_erasure::gf256::{self, Kernel};
 use legostore_erasure::{
     decode_value, decode_value_reference, encode_value, encode_value_reference, Shard,
 };
+use legostore_server::spawn_server_thread;
 use legostore_types::{Configuration, DcId, Key, Value};
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Target wall time per measured loop; iteration counts adapt to reach it.
@@ -223,12 +231,15 @@ fn run_erasure(opts: &Options) -> String {
 
 struct E2eMode {
     label: &'static str,
+    transport: &'static str,
+    clock: &'static str,
+    latency_scale: f64,
     put_wall_ops_per_sec: f64,
     get_wall_ops_per_sec: f64,
-    put_virtual_p50_ms: f64,
-    put_virtual_p99_ms: f64,
-    get_virtual_p50_ms: f64,
-    get_virtual_p99_ms: f64,
+    put_p50_ms: f64,
+    put_p99_ms: f64,
+    get_p50_ms: f64,
+    get_p99_ms: f64,
 }
 
 fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
@@ -239,19 +250,66 @@ fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx] as f64 / 1e6
 }
 
+/// How a mode stands up its deployment.
+enum E2eSetup {
+    /// In-process channel transport under the virtual clock (full modeled latencies).
+    InprocVirtual,
+    /// In-process channel transport under a real clock, modeled latencies at
+    /// [`REALTIME_LATENCY_SCALE`].
+    InprocReal,
+    /// TCP loopback transport (one server thread per gcp9 DC behind a real listener),
+    /// real clock, modeled latencies at [`REALTIME_LATENCY_SCALE`].
+    TcpLoopback,
+}
+
+/// Real-clock modes scale the modeled gcp9 latencies to 1% so the measured ops/sec and
+/// p50/p99 are dominated by the transport hot path, not by sleeping out geo RTTs; the
+/// same scale in both real-clock modes makes `inproc_realtime` vs `tcp_loopback` a
+/// direct read of the wire-path overhead.
+const REALTIME_LATENCY_SCALE: f64 = 0.01;
+
 /// Runs `ops` PUTs then `ops` GETs of a `value_bytes` value against a CAS(5, 3) key on a
-/// fresh virtual-time deployment, with the GF kernel pinned to `kernel`.
+/// fresh gcp9 deployment stood up per `setup`, with the GF kernel pinned to `kernel`.
 fn run_e2e_mode(
     label: &'static str,
     kernel: Kernel,
+    setup: E2eSetup,
     ops: usize,
     value_bytes: usize,
 ) -> E2eMode {
     gf256::set_kernel(kernel);
-    let cluster = Cluster::gcp9(ClusterOptions {
-        clock: Clock::virtual_time(),
-        ..Default::default()
-    });
+    let (transport, clock_label, latency_scale) = match setup {
+        E2eSetup::InprocVirtual => ("inproc", "virtual", 1.0),
+        E2eSetup::InprocReal => ("inproc", "real", REALTIME_LATENCY_SCALE),
+        E2eSetup::TcpLoopback => ("tcp-loopback", "real", REALTIME_LATENCY_SCALE),
+    };
+    let mut servers: Vec<JoinHandle<std::io::Result<()>>> = Vec::new();
+    let cluster = match setup {
+        E2eSetup::InprocVirtual => Cluster::gcp9(ClusterOptions {
+            clock: Clock::virtual_time(),
+            ..Default::default()
+        }),
+        E2eSetup::InprocReal => Cluster::gcp9(ClusterOptions {
+            clock: Clock::real(),
+            latency_scale,
+            ..Default::default()
+        }),
+        E2eSetup::TcpLoopback => {
+            let model = CloudModel::gcp9();
+            let mut addrs: HashMap<DcId, SocketAddr> = HashMap::new();
+            for dc in model.dc_ids() {
+                let (addr, handle) = spawn_server_thread(dc).expect("spawn server");
+                addrs.insert(dc, addr);
+                servers.push(handle);
+            }
+            let options = ClusterOptions {
+                latency_scale,
+                op_timeout: Duration::from_secs(5),
+                ..Default::default()
+            };
+            Cluster::connect_tcp(model, options, &addrs).expect("connect tcp")
+        }
+    };
     let near = GcpLocation::Tokyo.dc();
     let dcs: Vec<DcId> = cluster.model().nearest_dcs(near).into_iter().take(5).collect();
     let config = Configuration::cas_default(dcs, 3, 1);
@@ -280,41 +338,51 @@ fn run_e2e_mode(
     }
     let get_wall = wall.elapsed().as_secs_f64().max(1e-9);
     cluster.shutdown();
+    for handle in servers {
+        handle.join().expect("join server thread").expect("server exits cleanly");
+    }
 
     put_ns.sort_unstable();
     get_ns.sort_unstable();
     E2eMode {
         label,
+        transport,
+        clock: clock_label,
+        latency_scale,
         put_wall_ops_per_sec: ops as f64 / put_wall,
         get_wall_ops_per_sec: ops as f64 / get_wall,
-        put_virtual_p50_ms: percentile_ms(&put_ns, 0.50),
-        put_virtual_p99_ms: percentile_ms(&put_ns, 0.99),
-        get_virtual_p50_ms: percentile_ms(&get_ns, 0.50),
-        get_virtual_p99_ms: percentile_ms(&get_ns, 0.99),
+        put_p50_ms: percentile_ms(&put_ns, 0.50),
+        put_p99_ms: percentile_ms(&put_ns, 0.99),
+        get_p50_ms: percentile_ms(&get_ns, 0.50),
+        get_p99_ms: percentile_ms(&get_ns, 0.99),
     }
 }
 
 fn run_e2e(opts: &Options) -> String {
     let (ops, value_bytes) = if opts.smoke { (10, 10 * 1024) } else { (200, 100 * 1024) };
-    // Baseline mode pins the scalar kernels; the structural changes (codec cache,
-    // single-allocation encode, refcounted shard fan-out) are always on — they replaced
-    // the old code — so the kernel toggle isolates the GF(256) contribution while the
-    // absolute numbers document the full current hot path.
+    // The first two modes pin the GF kernel on the virtual-clock deployment — the toggle
+    // isolates the GF(256) contribution (the structural codec changes are always on; they
+    // replaced the old code). The last two run the SIMD kernel under a real clock over
+    // each transport, so their delta is the TCP wire path itself.
     let modes = [
-        run_e2e_mode("scalar_kernel", Kernel::Scalar, ops, value_bytes),
-        run_e2e_mode("simd_kernel", Kernel::Simd, ops, value_bytes),
+        run_e2e_mode("scalar_kernel", Kernel::Scalar, E2eSetup::InprocVirtual, ops, value_bytes),
+        run_e2e_mode("simd_kernel", Kernel::Simd, E2eSetup::InprocVirtual, ops, value_bytes),
+        run_e2e_mode("inproc_realtime", Kernel::Simd, E2eSetup::InprocReal, ops, value_bytes),
+        run_e2e_mode("tcp_loopback", Kernel::Simd, E2eSetup::TcpLoopback, ops, value_bytes),
     ];
     gf256::set_kernel(Kernel::Simd);
     for m in &modes {
         eprintln!(
-            "e2e [{}]: PUT {:.0} ops/s (virtual p50 {:.1} ms, p99 {:.1} ms), GET {:.0} ops/s (p50 {:.1} ms, p99 {:.1} ms)",
+            "e2e [{}] ({} / {} clock): PUT {:.0} ops/s (p50 {:.1} ms, p99 {:.1} ms), GET {:.0} ops/s (p50 {:.1} ms, p99 {:.1} ms)",
             m.label,
+            m.transport,
+            m.clock,
             m.put_wall_ops_per_sec,
-            m.put_virtual_p50_ms,
-            m.put_virtual_p99_ms,
+            m.put_p50_ms,
+            m.put_p99_ms,
             m.get_wall_ops_per_sec,
-            m.get_virtual_p50_ms,
-            m.get_virtual_p99_ms,
+            m.get_p50_ms,
+            m.get_p99_ms,
         );
     }
 
@@ -323,24 +391,28 @@ fn run_e2e(opts: &Options) -> String {
     let _ = writeln!(json, "  \"bench\": \"e2e\",");
     let _ = writeln!(json, "  \"created_unix\": {},", unix_now());
     let _ = writeln!(json, "  \"smoke\": {},", opts.smoke);
-    let _ = writeln!(json, "  \"deployment\": \"gcp9 virtual-time, CAS(5,3), client at Tokyo\",");
+    let _ = writeln!(json, "  \"deployment\": \"gcp9, CAS(5,3), client at Tokyo\",");
     let _ = writeln!(json, "  \"ops_per_mode\": {ops},");
     let _ = writeln!(json, "  \"value_bytes\": {value_bytes},");
     json.push_str("  \"modes\": [\n");
     for (i, m) in modes.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"label\": \"{}\", \
+            "    {{\"label\": \"{}\", \"transport\": \"{}\", \"clock\": \"{}\", \
+             \"latency_scale\": {}, \
              \"put_wall_ops_per_sec\": {}, \"get_wall_ops_per_sec\": {}, \
-             \"put_virtual_p50_ms\": {}, \"put_virtual_p99_ms\": {}, \
-             \"get_virtual_p50_ms\": {}, \"get_virtual_p99_ms\": {}}}",
+             \"put_p50_ms\": {}, \"put_p99_ms\": {}, \
+             \"get_p50_ms\": {}, \"get_p99_ms\": {}}}",
             m.label,
+            m.transport,
+            m.clock,
+            fmt_f64(m.latency_scale),
             fmt_f64(m.put_wall_ops_per_sec),
             fmt_f64(m.get_wall_ops_per_sec),
-            fmt_f64(m.put_virtual_p50_ms),
-            fmt_f64(m.put_virtual_p99_ms),
-            fmt_f64(m.get_virtual_p50_ms),
-            fmt_f64(m.get_virtual_p99_ms),
+            fmt_f64(m.put_p50_ms),
+            fmt_f64(m.put_p99_ms),
+            fmt_f64(m.get_p50_ms),
+            fmt_f64(m.get_p99_ms),
         );
         json.push_str(if i + 1 < modes.len() { ",\n" } else { "\n" });
     }

@@ -8,12 +8,12 @@
 //! after refreshing metadata) and data-center failures (timeout, widen the quorum to the
 //! full placement, retry).
 
-use crate::clock::ClockedReceiver;
-use crate::cluster::{ClusterInner, ControlMsg, ReplyEnvelope};
+use crate::cluster::ClusterInner;
 use crate::inbox::DelayedInbox;
+use crate::transport::{Endpoint, ReplyEnvelope};
 use legostore_lincheck::recorder::fingerprint;
 use legostore_proto::msg::{OpOutcome, OpProgress, Outbound, ProtoReply};
-use legostore_proto::server::{DcServer, Inbound};
+use legostore_proto::server::{ControlMsg, DcServer, Inbound};
 use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
 use legostore_types::{
     ClientId, Configuration, DcId, Key, OpKind, ProtocolKind, StoreError, StoreResult, Tag, Value,
@@ -303,14 +303,13 @@ impl StoreClient {
         let mut op = self.build_op(key, kind, &config, value.as_ref());
         let mut resume = false;
         for _attempt in 0..max_attempts {
-            let endpoint = self.cluster.next_endpoint.fetch_add(1, Ordering::Relaxed);
+            let endpoint = self.cluster.transport.open_endpoint();
             let deadline_ns =
                 clock.now_ns() + self.cluster.options.op_timeout.as_nanos() as u64;
-            // A fresh reply channel per attempt: dropping it at the end of the attempt
-            // disconnects and drains it, so replies that straggle in after a timeout or a
-            // reconfiguration redirect are discarded at the source (and cannot hold a
-            // virtual clock back).
-            let (reply_tx, reply_rx) = clock.channel::<ReplyEnvelope>();
+            // A fresh endpoint per attempt: dropping it at the end of the attempt closes
+            // its reply channel (and deregisters its route, on transports that keep one),
+            // so replies that straggle in after a timeout or a reconfiguration redirect
+            // are discarded at the source (and cannot hold a virtual clock back).
             let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
             let mut outbound = if resume { op.resend_widened() } else { op.start() };
             // Metadata round trip owed after a reconfiguration redirect; slept only once
@@ -321,17 +320,17 @@ impl StoreClient {
             loop {
                 for out in outbound.drain(..) {
                     let inbound = Inbound {
-                        from: endpoint,
+                        from: endpoint.id(),
                         msg_id: 0,
                         phase: out.phase,
                         key: out.key.clone(),
                         epoch: out.epoch,
                         msg: out.msg.clone(),
                     };
-                    self.cluster.send_request(self.dc, out.to, reply_tx.clone(), inbound)?;
+                    self.cluster.send_request(self.dc, out.to, &endpoint, inbound)?;
                 }
                 // Wait for the next reply (or the attempt deadline).
-                let env = match self.wait_for_reply(endpoint, &reply_rx, &mut inbox, deadline_ns) {
+                let env = match self.wait_for_reply(&endpoint, &mut inbox, deadline_ns) {
                     Some(env) => env,
                     None => {
                         timed_out = true;
@@ -390,10 +389,9 @@ impl StoreClient {
                     },
                 }
             }
-            // The attempt is over: close its reply channel (discarding any stragglers)
+            // The attempt is over: close its endpoint (discarding any stragglers)
             // before pausing for the modeled metadata fetch.
-            drop(reply_rx);
-            drop(reply_tx);
+            drop(endpoint);
             if let Some(delay) = metadata_pause {
                 clock.sleep(delay);
             }
@@ -429,25 +427,23 @@ impl StoreClient {
         self.cluster.buffer_reply(self.dc, inbox, env);
     }
 
-    /// Waits for the next reply addressed to `endpoint` on this attempt's channel,
-    /// honoring modeled network delays. `deadline_ns` is a
-    /// [`Clock::now_ns`](crate::clock::Clock::now_ns) timestamp. All parking happens in
-    /// channel waits (never in a bare clock sleep), so replies keep being drained into
-    /// the inbox while we wait for the earliest one.
+    /// Waits for the next reply addressed to `endpoint`, honoring modeled network
+    /// delays. `deadline_ns` is a [`Clock::now_ns`](crate::clock::Clock::now_ns)
+    /// timestamp. All parking happens in channel waits (never in a bare clock sleep), so
+    /// replies keep being drained into the inbox while we wait for the earliest one.
     fn wait_for_reply(
         &mut self,
-        endpoint: u64,
-        reply_rx: &ClockedReceiver<ReplyEnvelope>,
+        endpoint: &Endpoint,
         inbox: &mut DelayedInbox<ReplyEnvelope>,
         deadline_ns: u64,
     ) -> Option<ReplyEnvelope> {
         let clock = self.cluster.clock().clone();
         loop {
-            // Drain anything already on the channel into the delayed inbox. The channel
-            // is per-attempt so every envelope should match `endpoint`; the filter stays
-            // as a guard against routing mix-ups.
-            while let Ok(env) = reply_rx.try_recv() {
-                if env.endpoint == endpoint {
+            // Drain anything already delivered into the delayed inbox. The endpoint is
+            // per-attempt so every envelope should match its id; the filter stays as a
+            // guard against routing mix-ups.
+            while let Some(env) = endpoint.try_recv() {
+                if env.endpoint == endpoint.id() {
                     self.buffer_reply(inbox, env);
                 }
             }
@@ -461,13 +457,13 @@ impl StoreClient {
                 .next_available_at()
                 .unwrap_or(deadline_ns)
                 .min(deadline_ns);
-            match reply_rx.recv_deadline_ns(wake_ns) {
-                Ok(env) => {
-                    if env.endpoint == endpoint {
+            match endpoint.recv_deadline_ns(wake_ns) {
+                Some(env) => {
+                    if env.endpoint == endpoint.id() {
                         self.buffer_reply(inbox, env);
                     }
                 }
-                Err(_) => {
+                None => {
                     if clock.now_ns() >= deadline_ns
                         && inbox.next_available_at().map(|t| t > deadline_ns).unwrap_or(true)
                     {

@@ -1,29 +1,34 @@
-//! The in-process deployment: per-DC server threads, the metadata service and the
-//! reconfiguration controller.
+//! The deployment: per-DC servers, the metadata service and the reconfiguration
+//! controller, all behind the [`Transport`] seam.
+//!
+//! [`Cluster::new`] is the in-process runtime (one server thread per data center,
+//! messages on clocked channels). [`Cluster::connect_tcp`] is the same deployment over
+//! real sockets: the servers are `legostore-server` processes (or threads) elsewhere, and
+//! every protocol message crosses the wire as a length-prefixed frame. Clients, the
+//! metadata service and the reconfiguration controller are identical in both cases — they
+//! only see the [`Transport`] trait.
 
-use crate::clock::{Clock, ClockedReceiver, ClockedSender};
+use crate::clock::{Clock, ClockedReceiver};
 use crate::inbox::DelayedInbox;
+use crate::transport::{
+    InProcTransport, LinkPolicy, ReplyEnvelope, ServerMsg, TcpTransport, Transport,
+};
 use legostore_cloud::CloudModel;
 use legostore_lincheck::HistoryRecorder;
-use legostore_proto::msg::{ProtoReply, ReconfigPayload};
 use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
-use legostore_proto::server::{DcServer, Inbound};
+use legostore_proto::server::{ControlMsg, DcServer, Inbound, MAX_REPLY_ROUTES};
 use legostore_types::{
-    Configuration, DcId, FaultPlan, FaultState, Key, LinkVerdict, StoreError, StoreResult, Tag,
-    Value,
+    Configuration, DcId, FaultPlan, Key, StoreError, StoreResult, Tag, Value,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::net::SocketAddr;
+use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Upper bound on a server's reply-routing table; crossing it triggers an eviction of the
-/// least-recently-seen half (see [`evict_stale_routes`]).
-const MAX_REPLY_ROUTES: usize = 100_000;
-
-/// Tunables of an in-process deployment.
+/// Tunables of a deployment.
 #[derive(Debug, Clone)]
 pub struct ClusterOptions {
     /// Factor applied to the cloud model's RTTs before sleeping (1.0 = real geo latencies;
@@ -44,11 +49,15 @@ pub struct ClusterOptions {
     /// Time source shared by every component of the deployment. Defaults to real
     /// (wall-clock) time; [`Clock::virtual_time`] runs the same protocols on logical time,
     /// collapsing modeled RTT waits to microseconds and making timestamps deterministic.
+    /// Only transports that support the virtual clock's in-flight accounting can run on
+    /// virtual time — [`Cluster::connect_tcp`] falls back to a real clock.
     pub clock: Clock,
     /// Deterministic fault schedule injected at the deployment's transport layer (see
     /// [`legostore_types::fault`]). Event times are model milliseconds, scaled by
     /// [`ClusterOptions::latency_scale`] exactly like the cloud model's RTTs. The default
-    /// empty plan injects nothing and costs nothing on the message path.
+    /// empty plan injects nothing and costs nothing on the message path. The same plan
+    /// drives both transports: verdicts are drawn on the client side of the seam, whether
+    /// the message then crosses a channel or a socket.
     pub fault_plan: FaultPlan,
 }
 
@@ -68,53 +77,13 @@ impl Default for ClusterOptions {
     }
 }
 
-/// A reply traveling back to a client or to the controller.
-#[derive(Debug, Clone)]
-pub(crate) struct ReplyEnvelope {
-    /// The endpoint (operation attempt) this reply is for.
-    pub endpoint: u64,
-    /// Server data center that produced the reply.
-    pub from: DcId,
-    /// Clock timestamp ([`Clock::now_ns`]) at which the server emitted the reply.
-    pub sent_at_ns: u64,
-    /// Echoed protocol phase.
-    pub phase: u8,
-    /// Reply body.
-    pub reply: ProtoReply,
-}
-
-pub(crate) enum ControlMsg {
-    InstallKey {
-        key: Key,
-        config: Configuration,
-        tag: Tag,
-        payload: ReconfigPayload,
-    },
-    RemoveKey(Key),
-    SetFailed(bool),
-    GarbageCollect(usize),
-}
-
-pub(crate) enum ServerMsg {
-    Request {
-        reply_to: ClockedSender<ReplyEnvelope>,
-        inbound: Inbound,
-    },
-    Control(ControlMsg),
-    Shutdown,
-}
-
 pub(crate) struct ClusterInner {
-    pub(crate) model: CloudModel,
+    pub(crate) model: Arc<CloudModel>,
     pub(crate) options: ClusterOptions,
-    pub(crate) senders: HashMap<DcId, ClockedSender<ServerMsg>>,
+    pub(crate) transport: Arc<dyn Transport>,
     pub(crate) metadata: Mutex<HashMap<Key, Configuration>>,
     pub(crate) recorder: Arc<HistoryRecorder>,
     pub(crate) next_client_id: AtomicU32,
-    pub(crate) next_endpoint: AtomicU64,
-    /// Interpreter of [`ClusterOptions::fault_plan`]; `None` when the plan is empty so
-    /// the fault-free message path takes no lock.
-    pub(crate) faults: Option<Mutex<FaultState>>,
 }
 
 impl ClusterInner {
@@ -135,114 +104,60 @@ impl ClusterInner {
         Duration::from_secs_f64(ms * self.options.latency_scale / 1000.0)
     }
 
-    /// The clock reading converted to the fault plan's time domain (model milliseconds,
-    /// i.e. clock time divided by `latency_scale`).
-    fn model_now_ms(&self) -> f64 {
-        self.now_ns() as f64 / 1_000_000.0 / self.options.latency_scale
-    }
-
-    /// The fate of one message on the `from → to` link under the active fault plan.
-    /// Fault events are applied lazily: everything scheduled at or before the current
-    /// model instant takes effect before the verdict is drawn.
-    pub(crate) fn fault_verdict(&self, from: DcId, to: DcId) -> LinkVerdict {
-        let Some(faults) = &self.faults else {
-            return LinkVerdict::CLEAN;
-        };
-        let mut state = faults.lock();
-        state.advance_to(self.model_now_ms());
-        state.verdict(from, to)
-    }
-
-    /// Buffers `env` in `inbox` at its modeled arrival instant for a consumer at `at`.
-    ///
-    /// This is the reply-leg fault interposition point: a faulted link drops the reply
-    /// (the client only notices via its attempt timeout), a slow or lossy link defers it
-    /// past the fault-free arrival instant, and a duplicating link buffers it twice (the
-    /// protocol quorum trackers dedupe responders by DC, so duplicates are harmless).
+    /// Buffers `env` in `inbox` at its modeled arrival instant for a consumer at `at`
+    /// (the transport's reply-leg fault interposition point).
     pub(crate) fn buffer_reply(
         &self,
         at: DcId,
         inbox: &mut DelayedInbox<ReplyEnvelope>,
         env: ReplyEnvelope,
     ) {
-        let (copies, extra_ms) = match self.fault_verdict(env.from, at) {
-            LinkVerdict::Drop => return,
-            LinkVerdict::Deliver { copies, extra_delay_ms } => (copies, extra_delay_ms),
-        };
-        let delay = self.reply_delay(at, env.from, env.reply.wire_size(self.options.metadata_bytes))
-            + Duration::from_secs_f64(extra_ms * self.options.latency_scale / 1000.0);
-        for _ in 1..copies {
-            inbox.push(env.sent_at_ns, delay, env.clone());
-        }
-        inbox.push(env.sent_at_ns, delay, env);
+        self.transport.buffer_reply(at, inbox, env);
     }
 
-    /// Sends a protocol request from the endpoint at `from` to the server at `to`.
-    ///
-    /// This is the request-leg fault interposition point: a dropped request is simply
-    /// never delivered (`Ok(())` — the network gives no failure signal), and a
-    /// duplicated one is enqueued twice. Extra fault delay is applied on the reply leg
-    /// only, matching how the deployment models the whole round trip on the reply side.
+    /// Sends a protocol request from the endpoint at `from` to the server at `to` (the
+    /// transport's request-leg fault interposition point).
     pub(crate) fn send_request(
         &self,
         from: DcId,
         to: DcId,
-        reply_to: ClockedSender<ReplyEnvelope>,
+        endpoint: &crate::transport::Endpoint,
         inbound: Inbound,
     ) -> StoreResult<()> {
-        let copies = match self.fault_verdict(from, to) {
-            LinkVerdict::Drop => return Ok(()),
-            LinkVerdict::Deliver { copies, .. } => copies,
-        };
-        let sender = self
-            .senders
-            .get(&to)
-            .ok_or_else(|| StoreError::Transport(format!("unknown data center {to}")))?;
-        for _ in 1..copies {
-            sender
-                .send(ServerMsg::Request { reply_to: reply_to.clone(), inbound: inbound.clone() })
-                .map_err(|_| StoreError::Transport(format!("server {to} has shut down")))?;
-        }
-        sender
-            .send(ServerMsg::Request { reply_to, inbound })
-            .map_err(|_| StoreError::Transport(format!("server {to} has shut down")))
+        self.transport.send_request(from, to, endpoint, inbound)
     }
 
     pub(crate) fn control(&self, to: DcId, msg: ControlMsg) {
-        if let Some(sender) = self.senders.get(&to) {
-            let _ = sender.send(ServerMsg::Control(msg));
-        }
+        let _ = self.transport.control(to, msg);
     }
 }
 
-/// The in-process LEGOStore deployment.
+/// A LEGOStore deployment (in-process or over TCP).
 pub struct Cluster {
     pub(crate) inner: Arc<ClusterInner>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl Cluster {
-    /// Spawns one server thread per data center of `model`.
+    /// Spawns one in-process server thread per data center of `model`.
     pub fn new(model: CloudModel, options: ClusterOptions) -> Cluster {
+        let model = Arc::new(model);
         let clock = options.clock.clone();
-        let mut senders = HashMap::new();
-        let mut receivers: Vec<(DcId, ClockedReceiver<ServerMsg>)> = Vec::new();
-        for dc in model.dc_ids() {
-            let (tx, rx) = clock.channel();
-            senders.insert(dc, tx);
-            receivers.push((dc, rx));
-        }
-        let faults = (!options.fault_plan.is_empty())
-            .then(|| Mutex::new(FaultState::new(&options.fault_plan)));
+        let links = LinkPolicy::new(
+            model.clone(),
+            options.latency_scale,
+            options.metadata_bytes,
+            clock.clone(),
+            &options.fault_plan,
+        );
+        let (transport, receivers) = InProcTransport::new(links, model.dc_ids());
         let inner = Arc::new(ClusterInner {
             model,
             options,
-            senders,
+            transport: Arc::new(transport),
             metadata: Mutex::new(HashMap::new()),
             recorder: Arc::new(HistoryRecorder::new()),
             next_client_id: AtomicU32::new(1),
-            next_endpoint: AtomicU64::new(1),
-            faults,
         });
         let handles = receivers
             .into_iter()
@@ -255,6 +170,52 @@ impl Cluster {
             })
             .collect();
         Cluster { inner, handles }
+    }
+
+    /// Connects to an already-running deployment: one `legostore-server` (process or
+    /// thread) per data center of `model`, listening at `addrs`.
+    ///
+    /// The servers exchange real bytes with this process — length-prefixed frames from
+    /// [`legostore_proto::wire`] — so a 6-DC cluster can run as 6 OS processes. Socket
+    /// delivery is invisible to a virtual clock's in-flight accounting, so if
+    /// `options.clock` is virtual it is silently replaced with [`Clock::real`] (the
+    /// returned cluster's [`Cluster::options`] show the clock actually in use). Modeled
+    /// geo-latencies and the fault plan still apply: both are imposed on this side of the
+    /// socket, additively with the real loopback/network delay.
+    ///
+    /// Fails if some server cannot be reached (refused connections are retried for a few
+    /// seconds to tolerate servers that are still starting).
+    pub fn connect_tcp(
+        model: CloudModel,
+        mut options: ClusterOptions,
+        addrs: &HashMap<DcId, SocketAddr>,
+    ) -> StoreResult<Cluster> {
+        if options.clock.is_virtual() {
+            options.clock = Clock::real();
+        }
+        let model = Arc::new(model);
+        for dc in model.dc_ids() {
+            if !addrs.contains_key(&dc) {
+                return Err(StoreError::Transport(format!("no server address for {dc}")));
+            }
+        }
+        let links = LinkPolicy::new(
+            model.clone(),
+            options.latency_scale,
+            options.metadata_bytes,
+            options.clock.clone(),
+            &options.fault_plan,
+        );
+        let transport = TcpTransport::connect(links, addrs)?;
+        let inner = Arc::new(ClusterInner {
+            model,
+            options,
+            transport: Arc::new(transport),
+            metadata: Mutex::new(HashMap::new()),
+            recorder: Arc::new(HistoryRecorder::new()),
+            next_client_id: AtomicU32::new(1),
+        });
+        Ok(Cluster { inner, handles: Vec::new() })
     }
 
     /// Spawns a deployment over the paper's nine GCP data centers with default options.
@@ -356,29 +317,28 @@ impl Cluster {
         let started_ns = clock.now_ns();
         let controller_dc = self.inner.options.controller_dc;
         let mut controller = ReconfigController::new(key.clone(), old, new_config);
-        let (tx, rx) = clock.channel::<ReplyEnvelope>();
-        let endpoint = self.inner.next_endpoint.fetch_add(1, Ordering::Relaxed);
+        let endpoint = self.inner.transport.open_endpoint();
         let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
         let mut outbound = controller.start();
         let deadline_ns = started_ns + (self.inner.options.op_timeout * 8).as_nanos() as u64;
         let outcome = loop {
             for out in outbound.drain(..) {
                 let inbound = Inbound {
-                    from: endpoint,
+                    from: endpoint.id(),
                     msg_id: 0,
                     phase: out.phase,
                     key: out.key.clone(),
                     epoch: out.epoch,
                     msg: out.msg.clone(),
                 };
-                self.inner.send_request(controller_dc, out.to, tx.clone(), inbound)?;
+                self.inner.send_request(controller_dc, out.to, &endpoint, inbound)?;
             }
             // Collect replies until the controller advances. All parking happens in
             // channel waits so arriving replies keep being drained (a bare clock sleep
             // would leave them undelivered and stall a virtual clock).
             let mut progressed = None;
             while progressed.is_none() {
-                while let Ok(env) = rx.try_recv() {
+                while let Some(env) = endpoint.try_recv() {
                     self.inner.buffer_reply(controller_dc, &mut inbox, env);
                 }
                 if let Some(env) = inbox.pop_ready(clock.now_ns()) {
@@ -396,11 +356,11 @@ impl Cluster {
                 if clock.now_ns() >= deadline_ns {
                     return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
                 }
-                match rx.recv_deadline_ns(wake_ns) {
-                    Ok(env) => {
+                match endpoint.recv_deadline_ns(wake_ns) {
+                    Some(env) => {
                         self.inner.buffer_reply(controller_dc, &mut inbox, env);
                     }
-                    Err(_) => {
+                    None => {
                         if clock.now_ns() >= deadline_ns {
                             return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
                         }
@@ -419,7 +379,7 @@ impl Cluster {
             .insert(key.clone(), outcome.new_config.clone());
         for out in &outcome.finish_messages {
             let inbound = Inbound {
-                from: endpoint,
+                from: endpoint.id(),
                 msg_id: 0,
                 phase: out.phase,
                 key: out.key.clone(),
@@ -427,20 +387,19 @@ impl Cluster {
                 msg: out.msg.clone(),
             };
             self.inner
-                .send_request(self.inner.options.controller_dc, out.to, tx.clone(), inbound)?;
+                .send_request(self.inner.options.controller_dc, out.to, &endpoint, inbound)?;
         }
         Ok(Duration::from_nanos(clock.now_ns() - started_ns))
     }
 
-    /// Shuts the deployment down, joining every server thread.
+    /// Shuts the deployment down: in-process server threads are joined; TCP servers
+    /// receive a shutdown frame and their connections are closed.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        for sender in self.inner.senders.values() {
-            let _ = sender.send(ServerMsg::Shutdown);
-        }
+        self.inner.transport.shutdown();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -453,49 +412,19 @@ impl Drop for Cluster {
     }
 }
 
-/// Drops the least-recently-seen reply routes until only `keep` remain.
-///
-/// `routes` maps an endpoint id to its reply channel plus the per-server message counter
-/// value at which the endpoint last sent a request. Endpoints with recent activity are the
-/// ones that may still receive (possibly deferred) replies; evicting only the stale tail —
-/// instead of clearing the whole table — keeps live operations routable.
-fn evict_stale_routes<T>(routes: &mut HashMap<u64, (T, u64)>, keep: usize) {
-    if routes.len() <= keep {
-        return;
-    }
-    let mut stamps: Vec<u64> = routes.values().map(|(_, seen)| *seen).collect();
-    stamps.sort_unstable();
-    // Stamps are unique (one per inserted request), so this keeps exactly `keep` entries.
-    let cutoff = stamps[stamps.len() - keep];
-    routes.retain(|_, (_, seen)| *seen >= cutoff);
-}
-
 /// The per-DC server thread: dispatches protocol messages to the shared `DcServer` state and
 /// routes replies back to the endpoint that sent each (possibly deferred) request.
 fn server_loop(dc: DcId, rx: ClockedReceiver<ServerMsg>, clock: Clock) {
     let _participant = clock.enter();
     let mut server = DcServer::new(dc);
     // endpoint → (reply channel, message counter at last request from that endpoint).
-    let mut reply_routes: HashMap<u64, (ClockedSender<ReplyEnvelope>, u64)> = HashMap::new();
+    let mut reply_routes: HashMap<u64, (crate::clock::ClockedSender<ReplyEnvelope>, u64)> =
+        HashMap::new();
     let mut msg_counter: u64 = 0;
     while let Ok(msg) = rx.recv() {
         match msg {
             ServerMsg::Shutdown => break,
-            ServerMsg::Control(ctrl) => match ctrl {
-                ControlMsg::InstallKey {
-                    key,
-                    config,
-                    tag,
-                    payload,
-                } => server.install_key(key, config, tag, payload),
-                ControlMsg::RemoveKey(key) => {
-                    server.remove_key(&key);
-                }
-                ControlMsg::SetFailed(failed) => server.set_failed(failed),
-                ControlMsg::GarbageCollect(keep) => {
-                    server.garbage_collect(keep);
-                }
-            },
+            ServerMsg::Control(ctrl) => server.apply_control(ctrl),
             ServerMsg::Request { reply_to, inbound } => {
                 msg_counter += 1;
                 reply_routes.insert(inbound.from, (reply_to, msg_counter));
@@ -504,7 +433,10 @@ fn server_loop(dc: DcId, rx: ClockedReceiver<ServerMsg>, clock: Clock) {
                 // request may be answered long after it arrived, when a FinishReconfig
                 // flushes it.
                 if reply_routes.len() > MAX_REPLY_ROUTES {
-                    evict_stale_routes(&mut reply_routes, MAX_REPLY_ROUTES / 2);
+                    legostore_proto::server::evict_stale_routes(
+                        &mut reply_routes,
+                        MAX_REPLY_ROUTES / 2,
+                    );
                 }
                 let replies = server.handle(inbound);
                 for r in replies {
@@ -653,23 +585,41 @@ mod tests {
     }
 
     #[test]
-    fn stale_route_eviction_keeps_recent_endpoints() {
-        let mut routes: HashMap<u64, ((), u64)> = HashMap::new();
-        for endpoint in 0..100u64 {
-            routes.insert(endpoint, ((), endpoint + 1)); // stamp = insertion order
-        }
-        // Endpoint 3 sends a fresh request much later: its stamp is refreshed.
-        routes.insert(3, ((), 101));
-        evict_stale_routes(&mut routes, 10);
-        assert_eq!(routes.len(), 10);
-        assert!(routes.contains_key(&3), "recently active endpoint must survive");
-        for endpoint in 92..100u64 {
-            assert!(routes.contains_key(&endpoint), "endpoint {endpoint} is recent");
-        }
-        assert!(!routes.contains_key(&0), "stale endpoint must be evicted");
-        // Under the threshold nothing happens.
-        let before: Vec<u64> = routes.keys().copied().collect();
-        evict_stale_routes(&mut routes, 10);
-        assert_eq!(routes.len(), before.len());
+    fn connect_tcp_rejects_missing_addresses_and_forces_real_clock() {
+        use legostore_cloud::CloudModelBuilder;
+        use std::net::TcpListener;
+
+        let model = CloudModelBuilder::uniform(2).build();
+        // Missing address for DC 1 → typed transport error, no hang.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut addrs = HashMap::new();
+        addrs.insert(DcId(0), listener.local_addr().unwrap());
+        let Err(err) = Cluster::connect_tcp(model.clone(), fast_options(), &addrs) else {
+            panic!("expected a transport error for the missing address");
+        };
+        assert!(matches!(err, StoreError::Transport(_)), "{err:?}");
+
+        // With both addresses present the cluster connects — and silently swaps the
+        // requested virtual clock for a real one (sockets have no in-flight accounting).
+        let listener2 = TcpListener::bind("127.0.0.1:0").unwrap();
+        addrs.insert(DcId(1), listener2.local_addr().unwrap());
+        let drain = |listener: TcpListener| {
+            std::thread::spawn(move || {
+                // Accept the one client connection and drain it until EOF.
+                if let Ok((mut conn, _)) = listener.accept() {
+                    let mut buf = [0u8; 1024];
+                    while matches!(std::io::Read::read(&mut conn, &mut buf), Ok(n) if n > 0) {}
+                }
+            })
+        };
+        let t1 = drain(listener);
+        let t2 = drain(listener2);
+        let options = fast_options();
+        assert!(options.clock.is_virtual());
+        let cluster = Cluster::connect_tcp(model, options, &addrs).expect("connects");
+        assert!(!cluster.options().clock.is_virtual(), "virtual clock must be replaced");
+        cluster.shutdown();
+        t1.join().unwrap();
+        t2.join().unwrap();
     }
 }

@@ -32,7 +32,9 @@ pub mod client;
 pub mod clock;
 pub mod cluster;
 pub mod inbox;
+pub mod transport;
 
 pub use client::StoreClient;
 pub use clock::Clock;
 pub use cluster::{Cluster, ClusterOptions};
+pub use transport::{Endpoint, ReplyEnvelope, Transport};

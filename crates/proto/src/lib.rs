@@ -15,6 +15,8 @@
 //! * [`server`] — the per-data-center server that hosts per-key, per-epoch protocol state
 //!   and dispatches the messages defined in [`msg`].
 //! * [`quorum`] — quorum bookkeeping shared by the client-side state machines.
+//! * [`wire`] — the length-prefixed binary codec that puts every message of [`msg`] on a
+//!   real socket (used by the TCP transport and the `legostore-server` binary).
 //!
 //! The state machines never perform I/O: clients emit [`msg::Outbound`] messages and consume
 //! replies via `on_reply`, servers map one inbound message to zero or more replies. The
@@ -28,9 +30,11 @@ pub mod msg;
 pub mod quorum;
 pub mod reconfig;
 pub mod server;
+pub mod wire;
 
 pub use abd::{AbdGet, AbdPut};
 pub use cas::{CasGet, CasPut};
 pub use msg::{OpOutcome, OpProgress, Outbound, ProtoMsg, ProtoReply};
 pub use reconfig::{ReconfigController, ReconfigOutcome};
-pub use server::{DcServer, KeyServerState};
+pub use server::{ControlMsg, DcServer, KeyServerState};
+pub use wire::{Frame, WireError};

@@ -35,6 +35,35 @@ pub struct Inbound {
     pub msg: ProtoMsg,
 }
 
+/// An out-of-band server administration command.
+///
+/// Controls are not part of the quorum protocols: they model the operations a deployment
+/// driver performs against individual servers (installing a freshly created key, deleting a
+/// key, failing or recovering a DC, triggering CAS garbage collection). Every transport
+/// carries them next to [`Inbound`] requests — the in-process runtime as a channel message,
+/// the TCP runtime as a dedicated wire frame — and applies them via
+/// [`DcServer::apply_control`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// Install `key` under `config` with the given tag and per-DC payload (CREATE).
+    InstallKey {
+        /// Key to install.
+        key: Key,
+        /// Configuration the key is served under.
+        config: Configuration,
+        /// Initial tag.
+        tag: Tag,
+        /// This server's replica value (ABD) or codeword symbol (CAS).
+        payload: ReconfigPayload,
+    },
+    /// Remove every epoch of the key (DELETE).
+    RemoveKey(Key),
+    /// Mark the server failed (drops all traffic) or recovered.
+    SetFailed(bool),
+    /// Run CAS garbage collection keeping this many old versions.
+    GarbageCollect(usize),
+}
+
 /// A reply envelope produced by a [`DcServer`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reply {
@@ -218,6 +247,22 @@ impl DcServer {
             }
         }
         removed
+    }
+
+    /// Applies one administration command (see [`ControlMsg`]).
+    pub fn apply_control(&mut self, ctrl: ControlMsg) {
+        match ctrl {
+            ControlMsg::InstallKey { key, config, tag, payload } => {
+                self.install_key(key, config, tag, payload)
+            }
+            ControlMsg::RemoveKey(key) => {
+                self.remove_key(&key);
+            }
+            ControlMsg::SetFailed(failed) => self.set_failed(failed),
+            ControlMsg::GarbageCollect(keep) => {
+                self.garbage_collect(keep);
+            }
+        }
     }
 
     /// Handles one inbound request, producing zero or more replies.
@@ -431,6 +476,28 @@ impl DcServer {
             }
         }
     }
+}
+
+/// Default upper bound on a server's reply-routing table; crossing it should trigger an
+/// eviction of the least-recently-seen half via [`evict_stale_routes`].
+pub const MAX_REPLY_ROUTES: usize = 100_000;
+
+/// Drops the least-recently-seen reply routes until only `keep` remain.
+///
+/// `routes` maps an endpoint id to its reply handle (a channel for the in-process runtime,
+/// a connection id for the TCP server) plus the per-server message counter value at which
+/// the endpoint last sent a request. Endpoints with recent activity are the ones that may
+/// still receive (possibly deferred) replies; evicting only the stale tail — instead of
+/// clearing the whole table — keeps live operations routable.
+pub fn evict_stale_routes<T>(routes: &mut HashMap<u64, (T, u64)>, keep: usize) {
+    if routes.len() <= keep {
+        return;
+    }
+    let mut stamps: Vec<u64> = routes.values().map(|(_, seen)| *seen).collect();
+    stamps.sort_unstable();
+    // Stamps are unique (one per inserted request), so this keeps exactly `keep` entries.
+    let cutoff = stamps[stamps.len() - keep];
+    routes.retain(|_, (_, seen)| *seen >= cutoff);
 }
 
 #[cfg(test)]
@@ -680,5 +747,44 @@ mod tests {
         assert!(s.remove_key(&Key::from("k")));
         assert!(!s.remove_key(&Key::from("k")));
         assert_eq!(s.key_count(), 0);
+    }
+
+    #[test]
+    fn apply_control_drives_the_same_paths_as_direct_calls() {
+        let mut s = DcServer::new(DcId(0));
+        s.apply_control(ControlMsg::InstallKey {
+            key: Key::from("k"),
+            config: Configuration::abd_majority(dcs(3), 1),
+            tag: Tag::INITIAL,
+            payload: ReconfigPayload::Value(Value::from("init")),
+        });
+        assert_eq!(s.key_count(), 1);
+        s.apply_control(ControlMsg::SetFailed(true));
+        assert!(s.is_failed());
+        s.apply_control(ControlMsg::SetFailed(false));
+        s.apply_control(ControlMsg::GarbageCollect(1));
+        s.apply_control(ControlMsg::RemoveKey(Key::from("k")));
+        assert_eq!(s.key_count(), 0);
+    }
+
+    #[test]
+    fn stale_route_eviction_keeps_recent_endpoints() {
+        let mut routes: HashMap<u64, ((), u64)> = HashMap::new();
+        for endpoint in 0..100u64 {
+            routes.insert(endpoint, ((), endpoint + 1)); // stamp = insertion order
+        }
+        // Endpoint 3 sends a fresh request much later: its stamp is refreshed.
+        routes.insert(3, ((), 101));
+        evict_stale_routes(&mut routes, 10);
+        assert_eq!(routes.len(), 10);
+        assert!(routes.contains_key(&3), "recently active endpoint must survive");
+        for endpoint in 92..100u64 {
+            assert!(routes.contains_key(&endpoint), "endpoint {endpoint} is recent");
+        }
+        assert!(!routes.contains_key(&0), "stale endpoint must be evicted");
+        // Under the threshold nothing happens.
+        let before: Vec<u64> = routes.keys().copied().collect();
+        evict_stale_routes(&mut routes, 10);
+        assert_eq!(routes.len(), before.len());
     }
 }

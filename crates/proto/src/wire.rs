@@ -1,0 +1,884 @@
+//! Length-prefixed binary wire codec for the protocol messages.
+//!
+//! This is the byte-level contract of the TCP transport (see ARCHITECTURE.md,
+//! "Transport"). The format is deliberately boring so it can be implemented from the spec
+//! alone:
+//!
+//! * A **frame** on the wire is `u32` little-endian payload length followed by that many
+//!   payload bytes. The length covers the payload only (not itself) and is capped at
+//!   [`MAX_FRAME_BYTES`].
+//! * The payload starts with a one-byte frame kind ([`Frame`]), then the body.
+//! * All integers are fixed-width little-endian. Booleans are one byte (0/1). There are no
+//!   floats anywhere in the message types.
+//! * Byte strings and UTF-8 strings are `u32` length-prefixed. `usize` fields travel as
+//!   `u64` so the format is identical across platforms.
+//! * `Option<T>` is a presence byte (0/1) followed by `T` when present.
+//!
+//! Decoding is **zero-copy for payloads**: every `Bytes` field (ABD values, CAS codeword
+//! symbols) comes back as a [`Bytes::slice`] window into the single frame buffer, so a
+//! decoded 1 MiB shard shares the frame's allocation instead of being copied out
+//! (`shims/bytes` frame reuse). Everything else (keys, configurations) is small and owned.
+//!
+//! The golden-fingerprint tests in `crates/proto/tests/wire_goldens.rs` pin the encoding of
+//! every variant: any byte-level change is a wire-format break and must be made
+//! deliberately.
+
+use crate::msg::{ProtoMsg, ProtoReply, ReconfigPayload};
+use crate::server::{ControlMsg, Inbound};
+use bytes::Bytes;
+use legostore_types::{
+    ClientId, ConfigEpoch, Configuration, DcId, Key, ProtocolKind, QuorumSpec, StoreError, Tag,
+    Value,
+};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload length. Large enough for the biggest modeled object
+/// (the paper's workloads top out at 10 MB values) with generous headroom; small enough
+/// that a corrupt or hostile length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Errors produced while encoding to or decoding from the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The frame ended before the field being decoded.
+    Truncated {
+        /// Bytes the field needed.
+        need: usize,
+        /// Bytes remaining in the frame.
+        have: usize,
+    },
+    /// An enum discriminant byte had no corresponding variant.
+    UnknownTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending discriminant.
+        tag: u8,
+    },
+    /// The frame decoded cleanly but bytes were left over.
+    TrailingBytes {
+        /// Number of undecoded bytes at the end of the frame.
+        extra: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// The underlying socket or stream failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated frame: field needs {need} bytes, {have} remain")
+            }
+            WireError::UnknownTag { what, tag } => {
+                write!(f, "unknown discriminant {tag} while decoding {what}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete frame")
+            }
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Result alias for wire operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Everything that travels on a transport connection, as one tagged union.
+///
+/// Requests flow client → server, replies flow server → client, controls flow
+/// driver → server, and `Shutdown` asks the receiving server process to exit cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A protocol request; `Inbound::from` is the reply-routing endpoint id.
+    Request(Inbound),
+    /// A protocol reply routed back to an endpoint.
+    Reply {
+        /// Endpoint (operation attempt) the reply is addressed to.
+        endpoint: u64,
+        /// Server data center that produced the reply.
+        from: DcId,
+        /// Sender-side clock reading when the reply was emitted. Clocks are not
+        /// synchronized across processes, so receivers restamp on arrival; the field is
+        /// carried for diagnostics only.
+        sent_at_ns: u64,
+        /// Echoed protocol phase.
+        phase: u8,
+        /// Reply body.
+        reply: ProtoReply,
+    },
+    /// An out-of-band server administration command.
+    Control(ControlMsg),
+    /// Asks the receiving server to shut down cleanly.
+    Shutdown,
+}
+
+const FRAME_REQUEST: u8 = 1;
+const FRAME_REPLY: u8 = 2;
+const FRAME_CONTROL: u8 = 3;
+const FRAME_SHUTDOWN: u8 = 4;
+
+impl Frame {
+    /// Encodes the frame, including its 4-byte length prefix, into a fresh buffer.
+    ///
+    /// The buffer is written to a socket with a single `write_all`, which keeps concurrent
+    /// senders on a shared connection frame-atomic (serialize writers externally).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Frame::Request(inbound) => {
+                w.u8(FRAME_REQUEST);
+                put_inbound(&mut w, inbound);
+            }
+            Frame::Reply { endpoint, from, sent_at_ns, phase, reply } => {
+                w.u8(FRAME_REPLY);
+                w.u64(*endpoint);
+                w.u16(from.0);
+                w.u64(*sent_at_ns);
+                w.u8(*phase);
+                put_reply(&mut w, reply);
+            }
+            Frame::Control(ctrl) => {
+                w.u8(FRAME_CONTROL);
+                put_control(&mut w, ctrl);
+            }
+            Frame::Shutdown => w.u8(FRAME_SHUTDOWN),
+        }
+        w.into_framed()
+    }
+
+    /// Decodes one frame from its payload bytes (the length prefix already stripped).
+    ///
+    /// Every `Bytes` payload in the result is a zero-copy window into `payload`.
+    pub fn decode(payload: Bytes) -> WireResult<Frame> {
+        let mut r = Reader::new(payload);
+        let frame = match r.u8()? {
+            FRAME_REQUEST => Frame::Request(get_inbound(&mut r)?),
+            FRAME_REPLY => Frame::Reply {
+                endpoint: r.u64()?,
+                from: DcId(r.u16()?),
+                sent_at_ns: r.u64()?,
+                phase: r.u8()?,
+                reply: get_reply(&mut r)?,
+            },
+            FRAME_CONTROL => Frame::Control(get_control(&mut r)?),
+            FRAME_SHUTDOWN => Frame::Shutdown,
+            tag => return Err(WireError::UnknownTag { what: "Frame", tag }),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Reads one length-prefixed frame from a stream.
+    ///
+    /// Returns `Ok(None)` on a clean end-of-stream (EOF at a frame boundary), which is how
+    /// an orderly connection close appears to readers.
+    pub fn read_from(stream: &mut impl Read) -> WireResult<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        // A clean close may surface as EOF on the first header byte.
+        match stream.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                return Frame::read_from(stream);
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+        stream.read_exact(&mut len_buf[1..])?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload)?;
+        Frame::decode(Bytes::from(payload)).map(Some)
+    }
+
+    /// Encodes the frame and writes it to a stream with a single `write_all`.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        stream.write_all(&self.encode())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    // The first four bytes are reserved for the length prefix.
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: vec![0u8; 4] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Backfills the length prefix and returns the finished frame.
+    fn into_framed(mut self) -> Vec<u8> {
+        let len = (self.buf.len() - 4) as u32;
+        self.buf[..4].copy_from_slice(&len.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader {
+    frame: Bytes,
+    pos: usize,
+}
+
+impl Reader {
+    fn new(frame: Bytes) -> Self {
+        Reader { frame, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&[u8]> {
+        let have = self.frame.len() - self.pos;
+        if n > have {
+            return Err(WireError::Truncated { need: n, have });
+        }
+        let out = &self.frame[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn usize(&mut self) -> WireResult<usize> {
+        Ok(self.u64()? as usize)
+    }
+
+    fn bool(&mut self) -> WireResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::UnknownTag { what: "bool", tag }),
+        }
+    }
+
+    /// Zero-copy: the returned `Bytes` is a window into the frame buffer.
+    fn bytes(&mut self) -> WireResult<Bytes> {
+        let n = self.u32()? as usize;
+        let have = self.frame.len() - self.pos;
+        if n > have {
+            return Err(WireError::Truncated { need: n, have });
+        }
+        let out = self.frame.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn string(&mut self) -> WireResult<String> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn finish(self) -> WireResult<()> {
+        let extra = self.frame.len() - self.pos;
+        if extra != 0 {
+            return Err(WireError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain types
+// ---------------------------------------------------------------------------
+
+fn put_tag(w: &mut Writer, tag: Tag) {
+    w.u64(tag.seq);
+    w.u32(tag.client.0);
+}
+
+fn get_tag(r: &mut Reader) -> WireResult<Tag> {
+    Ok(Tag::new(r.u64()?, ClientId(r.u32()?)))
+}
+
+fn put_key(w: &mut Writer, key: &Key) {
+    w.str(key.as_str());
+}
+
+fn get_key(r: &mut Reader) -> WireResult<Key> {
+    Ok(Key::new(r.string()?))
+}
+
+fn put_config(w: &mut Writer, c: &Configuration) {
+    w.u8(match c.protocol {
+        ProtocolKind::Abd => 0,
+        ProtocolKind::Cas => 1,
+    });
+    w.usize(c.n);
+    w.usize(c.k);
+    let [q1, q2, q3, q4] = c.quorums.sizes();
+    w.usize(q1);
+    w.usize(q2);
+    w.usize(q3);
+    w.usize(q4);
+    w.usize(c.dcs.len());
+    for dc in &c.dcs {
+        w.u16(dc.0);
+    }
+    w.usize(c.f);
+    w.u64(c.epoch.0);
+    w.usize(c.preferred_quorums.len());
+    for (client, quorums) in &c.preferred_quorums {
+        w.u16(client.0);
+        w.usize(quorums.len());
+        for quorum in quorums {
+            w.usize(quorum.len());
+            for dc in quorum {
+                w.u16(dc.0);
+            }
+        }
+    }
+}
+
+fn get_config(r: &mut Reader) -> WireResult<Configuration> {
+    let protocol = match r.u8()? {
+        0 => ProtocolKind::Abd,
+        1 => ProtocolKind::Cas,
+        tag => return Err(WireError::UnknownTag { what: "ProtocolKind", tag }),
+    };
+    let n = r.usize()?;
+    let k = r.usize()?;
+    let (q1, q2, q3, q4) = (r.usize()?, r.usize()?, r.usize()?, r.usize()?);
+    let quorums = QuorumSpec::cas(q1, q2, q3, q4);
+    let dc_count = r.usize()?;
+    let mut dcs = Vec::with_capacity(dc_count.min(1024));
+    for _ in 0..dc_count {
+        dcs.push(DcId(r.u16()?));
+    }
+    let f = r.usize()?;
+    let epoch = ConfigEpoch(r.u64()?);
+    let pref_count = r.usize()?;
+    let mut preferred_quorums = BTreeMap::new();
+    for _ in 0..pref_count {
+        let client = DcId(r.u16()?);
+        let list_count = r.usize()?;
+        let mut lists = Vec::with_capacity(list_count.min(1024));
+        for _ in 0..list_count {
+            let member_count = r.usize()?;
+            let mut members = Vec::with_capacity(member_count.min(1024));
+            for _ in 0..member_count {
+                members.push(DcId(r.u16()?));
+            }
+            lists.push(members);
+        }
+        preferred_quorums.insert(client, lists);
+    }
+    Ok(Configuration { protocol, n, k, quorums, dcs, f, epoch, preferred_quorums })
+}
+
+fn put_error(w: &mut Writer, e: &StoreError) {
+    match e {
+        StoreError::KeyAlreadyExists(key) => {
+            w.u8(0);
+            put_key(w, key);
+        }
+        StoreError::KeyNotFound(key) => {
+            w.u8(1);
+            put_key(w, key);
+        }
+        StoreError::QuorumTimeout { needed, received } => {
+            w.u8(2);
+            w.usize(*needed);
+            w.usize(*received);
+        }
+        StoreError::QuorumUnreachable { attempts, last } => {
+            w.u8(3);
+            w.u32(*attempts);
+            put_error(w, last);
+        }
+        StoreError::TooManyFailures { failed, tolerated } => {
+            w.u8(4);
+            w.usize(*failed);
+            w.usize(*tolerated);
+        }
+        StoreError::StaleConfiguration { observed, current } => {
+            w.u8(5);
+            w.u64(observed.0);
+            w.u64(current.0);
+        }
+        StoreError::OperationFailedByReconfig { new_epoch } => {
+            w.u8(6);
+            w.u64(new_epoch.0);
+        }
+        StoreError::InvalidConfiguration(msg) => {
+            w.u8(7);
+            w.str(msg);
+        }
+        StoreError::DecodeFailed { have, need } => {
+            w.u8(8);
+            w.usize(*have);
+            w.usize(*need);
+        }
+        StoreError::NotAHost { dc, key } => {
+            w.u8(9);
+            w.u16(dc.0);
+            put_key(w, key);
+        }
+        StoreError::MetadataUnavailable(key) => {
+            w.u8(10);
+            put_key(w, key);
+        }
+        StoreError::Transport(msg) => {
+            w.u8(11);
+            w.str(msg);
+        }
+        StoreError::Internal(msg) => {
+            w.u8(12);
+            w.str(msg);
+        }
+    }
+}
+
+fn get_error(r: &mut Reader) -> WireResult<StoreError> {
+    Ok(match r.u8()? {
+        0 => StoreError::KeyAlreadyExists(get_key(r)?),
+        1 => StoreError::KeyNotFound(get_key(r)?),
+        2 => StoreError::QuorumTimeout { needed: r.usize()?, received: r.usize()? },
+        3 => StoreError::QuorumUnreachable {
+            attempts: r.u32()?,
+            last: Box::new(get_error(r)?),
+        },
+        4 => StoreError::TooManyFailures { failed: r.usize()?, tolerated: r.usize()? },
+        5 => StoreError::StaleConfiguration {
+            observed: ConfigEpoch(r.u64()?),
+            current: ConfigEpoch(r.u64()?),
+        },
+        6 => StoreError::OperationFailedByReconfig { new_epoch: ConfigEpoch(r.u64()?) },
+        7 => StoreError::InvalidConfiguration(r.string()?),
+        8 => StoreError::DecodeFailed { have: r.usize()?, need: r.usize()? },
+        9 => StoreError::NotAHost { dc: DcId(r.u16()?), key: get_key(r)? },
+        10 => StoreError::MetadataUnavailable(get_key(r)?),
+        11 => StoreError::Transport(r.string()?),
+        12 => StoreError::Internal(r.string()?),
+        tag => return Err(WireError::UnknownTag { what: "StoreError", tag }),
+    })
+}
+
+fn put_payload(w: &mut Writer, p: &ReconfigPayload) {
+    match p {
+        ReconfigPayload::Value(v) => {
+            w.u8(0);
+            w.bytes(v.as_bytes());
+        }
+        ReconfigPayload::Shard(s) => {
+            w.u8(1);
+            w.bytes(s);
+        }
+    }
+}
+
+fn get_payload(r: &mut Reader) -> WireResult<ReconfigPayload> {
+    Ok(match r.u8()? {
+        0 => ReconfigPayload::Value(Value::new(r.bytes()?)),
+        1 => ReconfigPayload::Shard(r.bytes()?),
+        tag => return Err(WireError::UnknownTag { what: "ReconfigPayload", tag }),
+    })
+}
+
+fn put_msg(w: &mut Writer, m: &ProtoMsg) {
+    match m {
+        ProtoMsg::AbdReadQuery => w.u8(0),
+        ProtoMsg::AbdWriteQuery => w.u8(1),
+        ProtoMsg::AbdWrite { tag, value } => {
+            w.u8(2);
+            put_tag(w, *tag);
+            w.bytes(value.as_bytes());
+        }
+        ProtoMsg::CasQuery => w.u8(3),
+        ProtoMsg::CasPreWrite { tag, shard } => {
+            w.u8(4);
+            put_tag(w, *tag);
+            w.bytes(shard);
+        }
+        ProtoMsg::CasFinalizeWrite { tag } => {
+            w.u8(5);
+            put_tag(w, *tag);
+        }
+        ProtoMsg::CasFinalizeRead { tag } => {
+            w.u8(6);
+            put_tag(w, *tag);
+        }
+        ProtoMsg::ReconfigQuery { new_epoch } => {
+            w.u8(7);
+            w.u64(new_epoch.0);
+        }
+        ProtoMsg::ReconfigGet { tag } => {
+            w.u8(8);
+            put_tag(w, *tag);
+        }
+        ProtoMsg::ReconfigWrite { tag, data, config } => {
+            w.u8(9);
+            put_tag(w, *tag);
+            put_payload(w, data);
+            put_config(w, config);
+        }
+        ProtoMsg::FinishReconfig { highest_tag, new_config } => {
+            w.u8(10);
+            put_tag(w, *highest_tag);
+            put_config(w, new_config);
+        }
+    }
+}
+
+fn get_msg(r: &mut Reader) -> WireResult<ProtoMsg> {
+    Ok(match r.u8()? {
+        0 => ProtoMsg::AbdReadQuery,
+        1 => ProtoMsg::AbdWriteQuery,
+        2 => ProtoMsg::AbdWrite { tag: get_tag(r)?, value: Value::new(r.bytes()?) },
+        3 => ProtoMsg::CasQuery,
+        4 => ProtoMsg::CasPreWrite { tag: get_tag(r)?, shard: r.bytes()? },
+        5 => ProtoMsg::CasFinalizeWrite { tag: get_tag(r)? },
+        6 => ProtoMsg::CasFinalizeRead { tag: get_tag(r)? },
+        7 => ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(r.u64()?) },
+        8 => ProtoMsg::ReconfigGet { tag: get_tag(r)? },
+        9 => ProtoMsg::ReconfigWrite {
+            tag: get_tag(r)?,
+            data: get_payload(r)?,
+            config: Box::new(get_config(r)?),
+        },
+        10 => ProtoMsg::FinishReconfig {
+            highest_tag: get_tag(r)?,
+            new_config: Box::new(get_config(r)?),
+        },
+        tag => return Err(WireError::UnknownTag { what: "ProtoMsg", tag }),
+    })
+}
+
+fn put_reply(w: &mut Writer, reply: &ProtoReply) {
+    match reply {
+        ProtoReply::AbdTagValue { tag, value } => {
+            w.u8(0);
+            put_tag(w, *tag);
+            w.bytes(value.as_bytes());
+        }
+        ProtoReply::TagOnly { tag } => {
+            w.u8(1);
+            put_tag(w, *tag);
+        }
+        ProtoReply::Ack => w.u8(2),
+        ProtoReply::CasShard { tag, shard } => {
+            w.u8(3);
+            put_tag(w, *tag);
+            match shard {
+                None => w.bool(false),
+                Some(s) => {
+                    w.bool(true);
+                    w.bytes(s);
+                }
+            }
+        }
+        ProtoReply::OperationFail { new_config } => {
+            w.u8(4);
+            put_config(w, new_config);
+        }
+        ProtoReply::Error(e) => {
+            w.u8(5);
+            put_error(w, e);
+        }
+    }
+}
+
+fn get_reply(r: &mut Reader) -> WireResult<ProtoReply> {
+    Ok(match r.u8()? {
+        0 => ProtoReply::AbdTagValue { tag: get_tag(r)?, value: Value::new(r.bytes()?) },
+        1 => ProtoReply::TagOnly { tag: get_tag(r)? },
+        2 => ProtoReply::Ack,
+        3 => {
+            let tag = get_tag(r)?;
+            let shard = if r.bool()? { Some(r.bytes()?) } else { None };
+            ProtoReply::CasShard { tag, shard }
+        }
+        4 => ProtoReply::OperationFail { new_config: Box::new(get_config(r)?) },
+        5 => ProtoReply::Error(get_error(r)?),
+        tag => return Err(WireError::UnknownTag { what: "ProtoReply", tag }),
+    })
+}
+
+fn put_inbound(w: &mut Writer, inbound: &Inbound) {
+    w.u64(inbound.from);
+    w.u64(inbound.msg_id);
+    w.u8(inbound.phase);
+    put_key(w, &inbound.key);
+    w.u64(inbound.epoch.0);
+    put_msg(w, &inbound.msg);
+}
+
+fn get_inbound(r: &mut Reader) -> WireResult<Inbound> {
+    Ok(Inbound {
+        from: r.u64()?,
+        msg_id: r.u64()?,
+        phase: r.u8()?,
+        key: get_key(r)?,
+        epoch: ConfigEpoch(r.u64()?),
+        msg: get_msg(r)?,
+    })
+}
+
+fn put_control(w: &mut Writer, ctrl: &ControlMsg) {
+    match ctrl {
+        ControlMsg::InstallKey { key, config, tag, payload } => {
+            w.u8(0);
+            put_key(w, key);
+            put_config(w, config);
+            put_tag(w, *tag);
+            put_payload(w, payload);
+        }
+        ControlMsg::RemoveKey(key) => {
+            w.u8(1);
+            put_key(w, key);
+        }
+        ControlMsg::SetFailed(failed) => {
+            w.u8(2);
+            w.bool(*failed);
+        }
+        ControlMsg::GarbageCollect(keep) => {
+            w.u8(3);
+            w.usize(*keep);
+        }
+    }
+}
+
+fn get_control(r: &mut Reader) -> WireResult<ControlMsg> {
+    Ok(match r.u8()? {
+        0 => ControlMsg::InstallKey {
+            key: get_key(r)?,
+            config: get_config(r)?,
+            tag: get_tag(r)?,
+            payload: get_payload(r)?,
+        },
+        1 => ControlMsg::RemoveKey(get_key(r)?),
+        2 => ControlMsg::SetFailed(r.bool()?),
+        3 => ControlMsg::GarbageCollect(r.usize()?),
+        tag => return Err(WireError::UnknownTag { what: "ControlMsg", tag }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) -> Frame {
+        let encoded = frame.encode();
+        let len = u32::from_le_bytes(encoded[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, encoded.len() - 4, "length prefix covers the payload exactly");
+        let decoded = Frame::decode(Bytes::from(encoded[4..].to_vec())).expect("decodes");
+        assert_eq!(decoded, frame);
+        decoded
+    }
+
+    fn sample_config() -> Configuration {
+        let mut c = Configuration::cas_default(
+            vec![DcId(0), DcId(3), DcId(5), DcId(7), DcId(8)],
+            3,
+            1,
+        );
+        c.epoch = ConfigEpoch(9);
+        c.preferred_quorums
+            .insert(DcId(0), vec![vec![DcId(0), DcId(3), DcId(5)], vec![DcId(0)]]);
+        c
+    }
+
+    #[test]
+    fn request_roundtrip_preserves_every_field() {
+        roundtrip(Frame::Request(Inbound {
+            from: 0xDEAD_BEEF_0000_0001,
+            msg_id: 7,
+            phase: 3,
+            key: Key::from("user:42"),
+            epoch: ConfigEpoch(2),
+            msg: ProtoMsg::AbdWrite {
+                tag: Tag::new(11, ClientId(4)),
+                value: Value::from("hello"),
+            },
+        }));
+    }
+
+    #[test]
+    fn reply_roundtrip_with_nested_error() {
+        roundtrip(Frame::Reply {
+            endpoint: 99,
+            from: DcId(6),
+            sent_at_ns: 123_456_789,
+            phase: 2,
+            reply: ProtoReply::Error(StoreError::QuorumUnreachable {
+                attempts: 4,
+                last: Box::new(StoreError::QuorumTimeout { needed: 3, received: 1 }),
+            }),
+        });
+    }
+
+    #[test]
+    fn control_and_shutdown_roundtrip() {
+        roundtrip(Frame::Control(ControlMsg::InstallKey {
+            key: Key::from("k"),
+            config: sample_config(),
+            tag: Tag::INITIAL,
+            payload: ReconfigPayload::Shard(Bytes::from(vec![9u8; 33])),
+        }));
+        roundtrip(Frame::Control(ControlMsg::SetFailed(true)));
+        roundtrip(Frame::Control(ControlMsg::GarbageCollect(5)));
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn decoded_payloads_are_zero_copy_windows_into_the_frame() {
+        let shard = Bytes::from(vec![0xABu8; 4096]);
+        let frame = Frame::Request(Inbound {
+            from: 1,
+            msg_id: 2,
+            phase: 1,
+            key: Key::from("z"),
+            epoch: ConfigEpoch(0),
+            msg: ProtoMsg::CasPreWrite { tag: Tag::INITIAL, shard },
+        });
+        let encoded = frame.encode();
+        let payload = Bytes::from(encoded[4..].to_vec());
+        let payload_range = payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
+        let Frame::Request(inbound) = Frame::decode(payload.clone()).unwrap() else {
+            panic!()
+        };
+        let ProtoMsg::CasPreWrite { shard, .. } = inbound.msg else { panic!() };
+        let p = shard.as_ptr() as usize;
+        assert!(
+            payload_range.contains(&p) && payload_range.contains(&(p + shard.len() - 1)),
+            "decoded shard must alias the frame buffer, not copy out of it"
+        );
+    }
+
+    #[test]
+    fn zero_length_and_empty_payloads_roundtrip() {
+        roundtrip(Frame::Request(Inbound {
+            from: 0,
+            msg_id: 0,
+            phase: 0,
+            key: Key::from(""),
+            epoch: ConfigEpoch(0),
+            msg: ProtoMsg::AbdWrite { tag: Tag::INITIAL, value: Value::empty() },
+        }));
+        roundtrip(Frame::Reply {
+            endpoint: 0,
+            from: DcId(0),
+            sent_at_ns: 0,
+            phase: 0,
+            reply: ProtoReply::CasShard { tag: Tag::INITIAL, shard: Some(Bytes::new()) },
+        });
+    }
+
+    #[test]
+    fn stream_read_write_and_clean_eof() {
+        let frames = vec![
+            Frame::Request(Inbound {
+                from: 5,
+                msg_id: 6,
+                phase: 1,
+                key: Key::from("s"),
+                epoch: ConfigEpoch(1),
+                msg: ProtoMsg::CasQuery,
+            }),
+            Frame::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.write_to(&mut wire).unwrap();
+        }
+        let mut cursor = io::Cursor::new(wire);
+        for f in &frames {
+            assert_eq!(&Frame::read_from(&mut cursor).unwrap().unwrap(), f);
+        }
+        assert!(Frame::read_from(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_trusted() {
+        // Unknown frame kind.
+        let err = Frame::decode(Bytes::from(vec![0xFFu8])).unwrap_err();
+        assert!(matches!(err, WireError::UnknownTag { what: "Frame", .. }), "{err}");
+        // Truncated field.
+        let err = Frame::decode(Bytes::from(vec![FRAME_REPLY, 1, 2])).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }), "{err}");
+        // Trailing garbage after a complete frame.
+        let mut shutdown = Frame::Shutdown.encode()[4..].to_vec();
+        shutdown.push(0);
+        let err = Frame::decode(Bytes::from(shutdown)).unwrap_err();
+        assert!(matches!(err, WireError::TrailingBytes { extra: 1 }), "{err}");
+        // A hostile length prefix larger than the cap is rejected before allocating.
+        let mut stream = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        let err = Frame::read_from(&mut stream).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }), "{err}");
+        // Truncated stream mid-frame is an I/O error, not a hang or a panic.
+        let mut stream = io::Cursor::new(vec![10u8, 0, 0, 0, 1, 2]);
+        let err = Frame::read_from(&mut stream).unwrap_err();
+        assert!(matches!(err, WireError::Io(_)), "{err}");
+    }
+}

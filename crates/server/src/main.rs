@@ -1,0 +1,66 @@
+//! The `legostore-server` binary: one LEGOStore data-center server as an OS process.
+//!
+//! ```text
+//! legostore-server --dc 3 [--listen 127.0.0.1:7103]
+//! ```
+//!
+//! Binds the listen address (an OS-assigned loopback port by default), prints
+//! `READY <addr>` on stdout once accepting — launchers parse that line to learn the
+//! port — and serves until a connected driver sends a `Shutdown` frame.
+
+use legostore_types::DcId;
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: legostore-server --dc <id> [--listen <addr>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut dc: Option<u16> = None;
+    let mut listen = String::from("127.0.0.1:0");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dc" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else { usage() };
+                dc = Some(v);
+            }
+            "--listen" => {
+                let Some(v) = args.next() else { usage() };
+                listen = v;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(dc) = dc else { usage() };
+    let dc = DcId(dc);
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("legostore-server: bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            // The launcher handshake: parse this line to learn the bound port.
+            println!("READY {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("legostore-server: local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match legostore_server::serve(dc, listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("legostore-server: {dc}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Multi-process deployment: real `legostore-server` binaries as child OS processes,
+//! a driver connecting over TCP, linearizable history, clean shutdown of every process.
+
+use legostore_core::{Cluster, ClusterOptions};
+use legostore_cloud::CloudModelBuilder;
+use legostore_types::{Configuration, DcId, Key, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Launches one `legostore-server` process and parses its `READY <addr>` handshake.
+fn launch(dc: DcId) -> (Child, SocketAddr) {
+    let bin = env!("CARGO_BIN_EXE_legostore-server");
+    let mut child = Command::new(bin)
+        .args(["--dc", &dc.0.to_string(), "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn legostore-server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read READY line");
+    let addr = line
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("unexpected handshake line: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    (child, addr)
+}
+
+#[test]
+fn three_server_processes_serve_a_linearizable_workload() {
+    let mut children = Vec::new();
+    let mut addrs = HashMap::new();
+    for id in 0..3u16 {
+        let (child, addr) = launch(DcId(id));
+        children.push(child);
+        addrs.insert(DcId(id), addr);
+    }
+
+    let model = CloudModelBuilder::uniform(3).build();
+    let options = ClusterOptions {
+        latency_scale: 0.02,
+        op_timeout: Duration::from_millis(500),
+        controller_dc: DcId(0),
+        ..Default::default()
+    };
+    let cluster = Cluster::connect_tcp(model, options, &addrs).expect("connect");
+    let key = Key::from("multiproc");
+    let config = Configuration::abd_majority(vec![DcId(0), DcId(1), DcId(2)], 1);
+    cluster.install_key(key.clone(), config, &Value::from("v0"));
+
+    let mut a = cluster.client(DcId(0));
+    let mut b = cluster.client(DcId(2));
+    for i in 0..5u32 {
+        a.put(&key, Value::from(format!("a{i}").as_str())).expect("put");
+        assert_eq!(b.get(&key).expect("get"), Value::from(format!("a{i}").as_str()));
+    }
+    let failures = cluster.recorder().check_all();
+    assert!(failures.is_empty(), "history not linearizable: {failures:?}");
+    assert_eq!(cluster.recorder().len(key.as_str()), 10);
+
+    // Shutdown frames terminate every server process with a success exit status.
+    cluster.shutdown();
+    for mut child in children {
+        let status = child.wait().expect("wait for server process");
+        assert!(status.success(), "server process exited with {status}");
+    }
+}

@@ -21,8 +21,10 @@
 //! the same plan drives the threaded deployment in
 //! `tests/cross_runtime_conformance.rs`, holding the two runtimes to each other.
 
+pub mod net;
 pub mod report;
 pub mod simulation;
 
+pub use net::SimNet;
 pub use report::{CostMeter, LatencySummary, OpRecord, SimReport};
 pub use simulation::{SimOptions, Simulation};

@@ -1,0 +1,92 @@
+//! The simulator's transport seam: the per-message delivery decision.
+//!
+//! The deployment runtimes (`legostore-core`) hide message delivery behind a `Transport`
+//! trait; the simulator is single-threaded and event-driven, so its seam is smaller — a
+//! [`SimNet`] that answers one question per message: *how many copies arrive, and how much
+//! extra delay do they incur?* Both the request leg (`send_outbound`) and the reply leg
+//! (reply scheduling in the event handler) consult it, which keeps the simulator's fault
+//! interposition points aligned with the deployment transports': the same
+//! [`FaultPlan`] produces the same per-link verdict
+//! sequence everywhere.
+
+use legostore_types::{DcId, FaultPlan, FaultState};
+
+/// The simulated network: link-fault interpretation for an event-driven runtime.
+///
+/// Fault events are applied lazily — every event scheduled at or before the caller's
+/// current virtual instant takes effect before a verdict is drawn — and the per-message
+/// coin flips are derived from the plan's seed, so a faulty run is exactly as
+/// reproducible as a fault-free one.
+#[derive(Debug, Default)]
+pub struct SimNet {
+    /// Interpreter of the injected fault plan; `None` when no plan is set, making the
+    /// fault-free delivery decision free.
+    faults: Option<FaultState>,
+}
+
+impl SimNet {
+    /// A fault-free network.
+    pub fn new() -> Self {
+        SimNet::default()
+    }
+
+    /// Installs (or, with an empty plan, clears) the deterministic fault plan.
+    pub fn set_plan(&mut self, plan: &FaultPlan) {
+        self.faults = (!plan.is_empty()).then(|| FaultState::new(plan));
+    }
+
+    /// The delivery decision for one message on the `from → to` link at virtual time
+    /// `now_ms`: `None` if it is dropped, otherwise `(copies, extra_delay_ms)`.
+    pub fn deliveries(&mut self, now_ms: f64, from: DcId, to: DcId) -> Option<(u32, f64)> {
+        let Some(state) = &mut self.faults else {
+            return Some((1, 0.0));
+        };
+        state.advance_to(now_ms);
+        state.verdict(from, to).deliveries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_types::{FaultEvent, FaultKind};
+
+    #[test]
+    fn clean_network_delivers_single_copies_with_no_delay() {
+        let mut net = SimNet::new();
+        assert_eq!(net.deliveries(0.0, DcId(0), DcId(1)), Some((1, 0.0)));
+        net.set_plan(&FaultPlan::none());
+        assert_eq!(net.deliveries(1e9, DcId(3), DcId(3)), Some((1, 0.0)));
+    }
+
+    #[test]
+    fn crashed_dc_drops_everything_once_time_passes_the_event() {
+        let mut net = SimNet::new();
+        net.set_plan(&FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent { at_ms: 100.0, kind: FaultKind::CrashDc { dc: DcId(1) } }],
+        });
+        // Before the crash instant the link is clean...
+        assert_eq!(net.deliveries(50.0, DcId(0), DcId(1)), Some((1, 0.0)));
+        // ...and after it every message to (or from) the crashed DC is dropped.
+        assert_eq!(net.deliveries(150.0, DcId(0), DcId(1)), None);
+        assert_eq!(net.deliveries(150.0, DcId(1), DcId(0)), None);
+        // Unrelated links stay clean.
+        assert_eq!(net.deliveries(150.0, DcId(0), DcId(2)), Some((1, 0.0)));
+    }
+
+    #[test]
+    fn slow_dc_adds_delay_without_dropping() {
+        let mut net = SimNet::new();
+        net.set_plan(&FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent {
+                at_ms: 0.0,
+                kind: FaultKind::SlowDc { dc: DcId(2), extra_ms: 40.0 },
+            }],
+        });
+        let (copies, extra) = net.deliveries(1.0, DcId(0), DcId(2)).expect("delivered");
+        assert_eq!(copies, 1);
+        assert_eq!(extra, 40.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The discrete-event simulation engine.
 
+use crate::net::SimNet;
 use crate::report::{CostMeter, OpRecord, SimReport};
 use legostore_cloud::CloudModel;
 use legostore_lincheck::{recorder::fingerprint, HistoryRecorder};
@@ -8,7 +9,7 @@ use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
 use legostore_proto::server::{DcServer, Inbound};
 use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
 use legostore_types::{
-    ClientId, Configuration, DcId, FaultPlan, FaultState, Key, LinkVerdict, OpKind, ProtocolKind,
+    ClientId, Configuration, DcId, FaultPlan, Key, OpKind, ProtocolKind,
     Tag, Value,
 };
 use std::cmp::Reverse;
@@ -178,8 +179,8 @@ pub struct Simulation {
     records: Vec<OpRecord>,
     cost: CostMeter,
     reconfig_durations: Vec<f64>,
-    /// Interpreter of the injected fault plan, if any (see [`Simulation::set_fault_plan`]).
-    faults: Option<FaultState>,
+    /// The simulated network's delivery-decision seam (see [`Simulation::set_fault_plan`]).
+    net: SimNet,
     /// Per-key operation histories, recorded only when
     /// [`Simulation::enable_history_recording`] was called.
     recorder: Option<Arc<HistoryRecorder>>,
@@ -217,7 +218,7 @@ impl Simulation {
             records: Vec::new(),
             cost: CostMeter::default(),
             reconfig_durations: Vec::new(),
-            faults: None,
+            net: SimNet::new(),
             recorder: None,
         }
     }
@@ -228,7 +229,7 @@ impl Simulation {
     /// as reproducible as a fault-free one. The same plan fed to a virtual-time
     /// `legostore-core` deployment injects the same schedule there.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
-        self.faults = (!plan.is_empty()).then(|| FaultState::new(plan));
+        self.net.set_plan(plan);
     }
 
     /// Starts recording per-key operation histories for linearizability checking.
@@ -386,19 +387,6 @@ impl Simulation {
         }
     }
 
-    /// The fate of one message on the `from → to` link under the injected fault plan,
-    /// with all events up to the current virtual instant applied.
-    fn fault_verdict(&mut self, from: DcId, to: DcId) -> LinkVerdict {
-        let now_ms = self.now_us as f64 / 1000.0;
-        match &mut self.faults {
-            None => LinkVerdict::CLEAN,
-            Some(state) => {
-                state.advance_to(now_ms);
-                state.verdict(from, to)
-            }
-        }
-    }
-
     /// Sends protocol messages from `origin` on behalf of endpoint `token`.
     ///
     /// Request-leg fault interposition. Cost is metered once per *logical* send: the
@@ -412,9 +400,9 @@ impl Simulation {
         for out in msgs {
             let bytes = out.msg.wire_size(self.options.metadata_bytes);
             self.meter(origin, out.to, bytes, class);
-            let copies = match self.fault_verdict(origin, out.to) {
-                LinkVerdict::Drop => continue,
-                LinkVerdict::Deliver { copies, .. } => copies,
+            let now_ms = self.now_us as f64 / 1000.0;
+            let Some((copies, _)) = self.net.deliveries(now_ms, origin, out.to) else {
+                continue;
             };
             let delay_ms = self.model.latency_ms(origin, out.to)
                 + self.model.transfer_time_ms(origin, out.to, bytes);
@@ -465,11 +453,10 @@ impl Simulation {
                     self.meter(to, dest_dc, bytes, class);
                     // Reply-leg fault interposition (this is where slow-DC / lossy-link
                     // extra delay lands; see `send_outbound`).
-                    let (copies, extra_ms) = match self.fault_verdict(to, dest_dc) {
-                        LinkVerdict::Drop => continue,
-                        LinkVerdict::Deliver { copies, extra_delay_ms } => {
-                            (copies, extra_delay_ms)
-                        }
+                    let now_ms = self.now_us as f64 / 1000.0;
+                    let Some((copies, extra_ms)) = self.net.deliveries(now_ms, to, dest_dc)
+                    else {
+                        continue;
                     };
                     let delay_ms = self.model.latency_ms(to, dest_dc)
                         + self.model.transfer_time_ms(to, dest_dc, bytes)

@@ -212,6 +212,16 @@ pub enum LinkVerdict {
 impl LinkVerdict {
     /// Normal, fault-free delivery.
     pub const CLEAN: LinkVerdict = LinkVerdict::Deliver { copies: 1, extra_delay_ms: 0.0 };
+
+    /// Collapses the verdict into the shape every transport loop wants: `None` to drop the
+    /// message, `Some((copies, extra_delay_ms))` to deliver. Keeps the per-copy iteration
+    /// identical across the in-process, TCP, and simulator seams.
+    pub fn deliveries(self) -> Option<(u32, f64)> {
+        match self {
+            LinkVerdict::Drop => None,
+            LinkVerdict::Deliver { copies, extra_delay_ms } => Some((copies, extra_delay_ms)),
+        }
+    }
 }
 
 /// Active per-link fault parameters (see [`FaultKind::LinkFault`]).
@@ -409,6 +419,14 @@ mod tests {
 
     fn dc(i: u16) -> DcId {
         DcId(i)
+    }
+
+    #[test]
+    fn deliveries_collapses_verdicts() {
+        assert_eq!(LinkVerdict::Drop.deliveries(), None);
+        assert_eq!(LinkVerdict::CLEAN.deliveries(), Some((1, 0.0)));
+        let dup = LinkVerdict::Deliver { copies: 2, extra_delay_ms: 7.5 };
+        assert_eq!(dup.deliveries(), Some((2, 7.5)));
     }
 
     #[test]

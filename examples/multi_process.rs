@@ -1,0 +1,140 @@
+//! Multi-process deployment: six LEGOStore data centers as six real OS processes.
+//!
+//! Each child process is the `legostore-server` binary serving one DC over TCP; this
+//! driver connects to all six with `Cluster::connect_tcp`, installs an ABD-replicated
+//! key and an erasure-coded CAS key, runs a cross-continent PUT/GET workload over real
+//! sockets, verifies the recorded history is linearizable, and shuts every server down
+//! cleanly (each child must exit with a success status).
+//!
+//! Run with:
+//! ```text
+//! cargo build --release -p legostore-server
+//! cargo run --release --example multi_process
+//! ```
+//!
+//! The modeled geo-latencies (a six-DC slice of the paper's GCP table) are injected on
+//! top of the real loopback sockets, scaled down 50x so the example finishes quickly.
+
+use legostore::prelude::*;
+use legostore_server::find_server_binary;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const NUM_DCS: usize = 6;
+
+/// A six-DC slice of the gcp9 model: same names, same measured RTT matrix.
+fn gcp6() -> CloudModel {
+    let full = CloudModel::gcp9();
+    let dcs: Vec<DataCenter> = (0..NUM_DCS)
+        .map(|i| full.dc(DcId::from(i)).clone())
+        .collect();
+    let rtt: Vec<Vec<f64>> = (0..NUM_DCS)
+        .map(|i| {
+            (0..NUM_DCS)
+                .map(|j| full.rtt_ms(DcId::from(i), DcId::from(j)))
+                .collect()
+        })
+        .collect();
+    let price: Vec<Vec<f64>> = (0..NUM_DCS)
+        .map(|i| {
+            (0..NUM_DCS)
+                .map(|j| full.net_price_gb(DcId::from(i), DcId::from(j)))
+                .collect()
+        })
+        .collect();
+    CloudModelBuilder::from_parts(dcs, rtt, price).build()
+}
+
+/// Spawns one `legostore-server` process for `dc` and parses its `READY <addr>` line.
+fn launch(bin: &std::path::Path, dc: DcId) -> (Child, SocketAddr) {
+    let mut child = Command::new(bin)
+        .args(["--dc", &dc.0.to_string(), "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn legostore-server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read READY handshake");
+    let addr = line
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("unexpected handshake line: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    (child, addr)
+}
+
+fn main() {
+    let Some(bin) = find_server_binary() else {
+        eprintln!("legostore-server binary not found.");
+        eprintln!("Build it first: cargo build --release -p legostore-server");
+        eprintln!("(or point LEGOSTORE_SERVER_BIN at it)");
+        std::process::exit(1);
+    };
+
+    let model = gcp6();
+    let mut children = Vec::new();
+    let mut addrs: HashMap<DcId, SocketAddr> = HashMap::new();
+    for dc in model.dc_ids() {
+        let (child, addr) = launch(&bin, dc);
+        println!("{:<16} -> pid {:>6} listening on {addr}", model.dc(dc).name, child.id());
+        addrs.insert(dc, addr);
+        children.push(child);
+    }
+
+    let options = ClusterOptions {
+        latency_scale: 0.02,
+        op_timeout: Duration::from_secs(2),
+        controller_dc: DcId(0),
+        ..Default::default()
+    };
+    let cluster = Cluster::connect_tcp(model, options, &addrs).expect("connect to all servers");
+
+    // One replicated key, one erasure-coded key — both served by the child processes.
+    let abd_key = Key::from("session:alice");
+    let cas_key = Key::from("blob:report.pdf");
+    cluster.install_key(
+        abd_key.clone(),
+        Configuration::abd_majority(vec![DcId(0), DcId(1), DcId(2)], 1),
+        &Value::from("logged-out"),
+    );
+    cluster.install_key(
+        cas_key.clone(),
+        Configuration::cas_default(vec![DcId(0), DcId(1), DcId(2), DcId(3), DcId(4)], 3, 1),
+        &Value::filler(4096),
+    );
+
+    let mut near = cluster.client(DcId(0));
+    let mut far = cluster.client(DcId(5));
+    near.put(&abd_key, Value::from("logged-in")).expect("ABD put");
+    let v = far.get(&abd_key).expect("ABD get from the far DC");
+    println!("ABD read across the ocean: {}", String::from_utf8_lossy(v.as_bytes()));
+    far.put(&cas_key, Value::filler(8192)).expect("CAS put");
+    let v = near.get(&cas_key).expect("CAS get back");
+    println!("CAS read back {} bytes (erasure-coded over 5 DCs, k=3)", v.len());
+    for i in 0..10u32 {
+        near.put(&abd_key, Value::from(format!("seq-{i}").as_str())).expect("put");
+        let got = far.get(&abd_key).expect("get");
+        assert_eq!(got, Value::from(format!("seq-{i}").as_str()));
+    }
+
+    let failures = cluster.recorder().check_all();
+    assert!(failures.is_empty(), "history not linearizable: {failures:?}");
+    println!(
+        "linearizability check over {} recorded operations: OK",
+        cluster.recorder().len(abd_key.as_str()) + cluster.recorder().len(cas_key.as_str())
+    );
+
+    // Shutdown frames terminate every server process; insist on clean exits.
+    cluster.shutdown();
+    for mut child in children {
+        let status = child.wait().expect("wait for server process");
+        assert!(status.success(), "server process exited with {status}");
+    }
+    println!("all {NUM_DCS} server processes exited cleanly");
+}

@@ -15,7 +15,8 @@
 //! | [`erasure`] | `legostore-erasure` | GF(2^8) Reed–Solomon codec |
 //! | [`cloud`] | `legostore-cloud` | The 9-DC GCP model (RTTs, prices) and custom topologies |
 //! | [`proto`] | `legostore-proto` | ABD / CAS / reconfiguration protocol state machines |
-//! | [`store`] | `legostore-core` | The runnable store: server threads, clients, controller |
+//! | [`store`] | `legostore-core` | The runnable store: transports, clients, controller |
+//! | [`server`] | `legostore-server` | Standalone per-DC TCP server (`legostore-server` binary) |
 //! | [`optimizer`] | `legostore-optimizer` | Cost model, placement search, baselines, Kopt |
 //! | [`sim`] | `legostore-sim` | Deterministic geo-distributed simulator with cost metering |
 //! | [`workload`] | `legostore-workload` | Workload grid, Poisson traces, Wikipedia-like trace |
@@ -46,6 +47,14 @@
 //! assert_eq!(client.get(&key).unwrap(), Value::from("hello geo-distributed world"));
 //! assert!(cluster.recorder().check_all().is_empty());
 //! ```
+//!
+//! ## Going multi-process
+//!
+//! The same deployment can run as one OS process per data center: start the
+//! `legostore-server` binary per DC and connect with [`store::Cluster::connect_tcp`],
+//! which speaks the length-prefixed wire protocol of [`proto::wire`] over real TCP
+//! sockets. See `examples/multi_process.rs` and the "Transport" section of
+//! `ARCHITECTURE.md`.
 
 pub use legostore_cloud as cloud;
 pub use legostore_core as store;
@@ -53,14 +62,16 @@ pub use legostore_erasure as erasure;
 pub use legostore_lincheck as lincheck;
 pub use legostore_optimizer as optimizer;
 pub use legostore_proto as proto;
+pub use legostore_server as server;
 pub use legostore_sim as sim;
 pub use legostore_types as types;
 pub use legostore_workload as workload;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use legostore_cloud::{CloudModel, CloudModelBuilder, GcpLocation};
+    pub use legostore_cloud::{CloudModel, CloudModelBuilder, DataCenter, GcpLocation};
     pub use legostore_core::{Clock, Cluster, ClusterOptions, StoreClient};
+    pub use legostore_server::{find_server_binary, spawn_server_thread};
     pub use legostore_lincheck::{CheckOutcome, History, HistoryRecorder};
     pub use legostore_optimizer::{
         baselines::{evaluate_baseline, Baseline},

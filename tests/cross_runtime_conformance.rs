@@ -1,5 +1,6 @@
 //! Cross-runtime conformance: one workload trace + one fault plan, replayed on the
-//! discrete-event simulator *and* on the virtual-time threaded deployment, must agree.
+//! discrete-event simulator, on the virtual-time threaded deployment, *and* on the TCP
+//! transport (real loopback sockets to `legostore-server` loops), must agree.
 //!
 //! This closes the ROADMAP item "the bench harness never drives the threaded
 //! deployment": every experiment used to run only on `legostore-sim`, so nothing
@@ -17,6 +18,13 @@
 //! per op; the overall means within [`MEAN_TOLERANCE_FRACTION`]. Both runtimes are
 //! deterministic here (virtual clocks, seeded trace, seeded faults), so these bounds
 //! are stable, not flaky.
+//!
+//! The TCP runtime runs on a real clock (sockets are invisible to the virtual clock's
+//! in-flight accounting), so its latencies carry loopback and scheduler noise and are
+//! not compared numerically. It is held to the protocol-level guarantees instead: the
+//! same concurrent faulty trace completes every operation with a linearizable history,
+//! and a sequential trace produces the *identical* history (same operation kinds, same
+//! observed values) as the in-process transport.
 
 use legostore::prelude::*;
 use legostore::types::{FaultEvent, FaultKind, FaultPlan};
@@ -181,6 +189,74 @@ fn run_deployment(trace: &[Request]) -> Vec<f64> {
     results.into_iter().map(|(_, l)| l).collect()
 }
 
+/// Replays the trace over real loopback sockets: one `legostore-server` loop per GCP
+/// data center, the driver connected via `Cluster::connect_tcp`, arrivals scheduled on
+/// the real clock at `TCP_SCALE` of model time. Asserts completion and linearizability
+/// (latencies are not compared — real sockets add loopback and scheduler noise).
+fn run_tcp_deployment(trace: &[Request]) {
+    /// Real seconds per model second: compresses the 20 s trace to ~1 s of wall time
+    /// while keeping the scaled op timeout (100 ms) far above a loopback round trip.
+    const TCP_SCALE: f64 = 0.05;
+
+    let model = CloudModel::gcp9();
+    let mut addrs = std::collections::HashMap::new();
+    let mut servers = Vec::new();
+    for dc in model.dc_ids() {
+        let (addr, handle) = legostore_server::spawn_server_thread(dc).expect("spawn server");
+        addrs.insert(dc, addr);
+        servers.push(handle);
+    }
+    let cluster = Cluster::connect_tcp(
+        model,
+        ClusterOptions {
+            latency_scale: TCP_SCALE,
+            op_timeout: Duration::from_secs_f64(2.0 * TCP_SCALE),
+            max_attempts: 4,
+            fault_plan: fault_plan(),
+            ..Default::default()
+        },
+        &addrs,
+    )
+    .expect("connect to socket servers");
+    cluster.install_key(key(), config(), &initial_value());
+    let clock = cluster.options().clock.clone();
+    let key = key();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let mut client = cluster.client(req.origin);
+                let clock = clock.clone();
+                let key = key.clone();
+                scope.spawn(move || {
+                    clock.sleep_until_ns((req.time_ms * TCP_SCALE * 1_000_000.0) as u64);
+                    match req.kind {
+                        OpKind::Get => {
+                            client.get(&key).unwrap_or_else(|e| panic!("tcp get #{i}: {e}"));
+                        }
+                        OpKind::Put => {
+                            client
+                                .put(&key, put_value(i))
+                                .unwrap_or_else(|e| panic!("tcp put #{i}: {e}"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("tcp request thread");
+        }
+    });
+    let failures = cluster.recorder().check_all();
+    assert!(failures.is_empty(), "tcp history not linearizable: {failures:?}");
+    assert_eq!(cluster.recorder().len(key.as_str()), trace.len());
+    cluster.shutdown();
+    for handle in servers {
+        handle.join().expect("server thread").expect("server exits cleanly");
+    }
+}
+
 #[test]
 fn simulator_and_deployment_agree_on_the_same_faulty_trace() {
     let trace = trace();
@@ -221,5 +297,81 @@ fn simulator_and_deployment_agree_on_the_same_faulty_trace() {
     assert!(
         faulted_max >= 1_000.0,
         "some op should have ridden through a timeout, max faulted latency {faulted_max:.1} ms"
+    );
+}
+
+/// The third runtime: the identical concurrent faulty trace over real loopback sockets.
+/// Same fault plan, same `f = 1` budget — every operation must complete and the recorded
+/// history must be linearizable, like the channel-backed runtimes above.
+#[test]
+fn tcp_transport_completes_the_same_faulty_trace_linearizably() {
+    let trace = trace();
+    assert!(trace.iter().any(|r| touches_fault_window(r.time_ms)));
+    run_tcp_deployment(&trace);
+}
+
+/// A deterministic sequential trace must produce the *identical* history — the same
+/// operation kinds observing the same values in the same order — whether the messages
+/// cross in-process channels or real sockets. This pins the transports to each other at
+/// the level the paper cares about (what clients observe), not just "both linearizable".
+#[test]
+fn sequential_trace_yields_identical_histories_on_both_transports() {
+    use legostore_lincheck::history::OperationKind;
+
+    let ops_of = |recorder: &legostore_lincheck::HistoryRecorder, key: &Key| -> Vec<OperationKind> {
+        recorder
+            .history(key.as_str())
+            .expect("key recorded")
+            .operations
+            .iter()
+            .map(|op| op.kind)
+            .collect()
+    };
+    let drive = |cluster: &Cluster| -> Vec<OperationKind> {
+        cluster.install_key(key(), config(), &initial_value());
+        let mut client = cluster.client(GcpLocation::Tokyo.dc());
+        for i in 0..20usize {
+            if i % 2 == 0 {
+                client.put(&key(), put_value(i)).unwrap_or_else(|e| panic!("put #{i}: {e}"));
+            } else {
+                client.get(&key()).unwrap_or_else(|e| panic!("get #{i}: {e}"));
+            }
+        }
+        assert!(cluster.recorder().check_all().is_empty());
+        ops_of(&cluster.recorder(), &key())
+    };
+
+    let inproc = Cluster::gcp9(ClusterOptions {
+        latency_scale: 0.01,
+        clock: Clock::virtual_time(),
+        ..Default::default()
+    });
+    let inproc_history = drive(&inproc);
+    inproc.shutdown();
+
+    let model = CloudModel::gcp9();
+    let mut addrs = std::collections::HashMap::new();
+    let mut servers = Vec::new();
+    for dc in model.dc_ids() {
+        let (addr, handle) = legostore_server::spawn_server_thread(dc).expect("spawn server");
+        addrs.insert(dc, addr);
+        servers.push(handle);
+    }
+    let tcp = Cluster::connect_tcp(
+        model,
+        ClusterOptions { latency_scale: 0.01, ..Default::default() },
+        &addrs,
+    )
+    .expect("connect");
+    let tcp_history = drive(&tcp);
+    tcp.shutdown();
+    for handle in servers {
+        handle.join().expect("server thread").expect("server exits cleanly");
+    }
+
+    assert_eq!(inproc_history.len(), 20);
+    assert_eq!(
+        inproc_history, tcp_history,
+        "the two transports observed different histories"
     );
 }
