@@ -15,6 +15,9 @@
 //!   modes measure CPU cost per operation (nothing sleeps; p50/p99 reflect modeled RTTs);
 //!   real-clock modes run with modeled latencies scaled down to ~1% so the inproc vs TCP
 //!   delta isolates the wire-path overhead (framing, syscalls, reader-thread handoff).
+//!   Every mode runs with telemetry on and reports per-phase p50 breakdowns scraped from
+//!   the client's obs registry, and an `obs_overhead` section compares PUT p50 with
+//!   telemetry off vs on (CI asserts the overhead stays under 3%).
 //!
 //! Usage: `perfbench [--smoke] [--erasure-only] [--out-dir DIR]`.
 //! `--smoke` shrinks sizes and iteration counts so CI can validate the schema in seconds.
@@ -25,6 +28,7 @@ use legostore_erasure::gf256::{self, Kernel};
 use legostore_erasure::{
     decode_value, decode_value_reference, encode_value, encode_value_reference, Shard,
 };
+use legostore_obs::{MetricsSnapshot, ObsConfig, MAX_PHASES};
 use legostore_server::spawn_server_thread;
 use legostore_types::{Configuration, DcId, Key, Value};
 use std::collections::HashMap;
@@ -240,6 +244,35 @@ struct E2eMode {
     put_p99_ms: f64,
     get_p50_ms: f64,
     get_p99_ms: f64,
+    /// p50 time spent in each protocol phase (ms), from the client's obs histograms.
+    /// CAS PUTs use phases 1..=3, CAS GETs 1..=2; untouched phases render as `null`.
+    put_phase_p50_ms: [f64; MAX_PHASES],
+    get_phase_p50_ms: [f64; MAX_PHASES],
+    /// p50 erasure encode/decode time on the client (ms). Zero under the virtual
+    /// clock, where compute does not advance time.
+    encode_p50_ms: f64,
+    decode_p50_ms: f64,
+}
+
+/// p50 of a snapshot histogram in milliseconds, `NAN` (rendered `null`) when the
+/// histogram is absent or empty.
+fn snapshot_p50_ms(snap: &MetricsSnapshot, name: &str) -> f64 {
+    match snap.histogram(name) {
+        Some(h) if h.count > 0 => h.quantile(0.50) / 1e6,
+        _ => f64::NAN,
+    }
+}
+
+fn fmt_f64_array(xs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&fmt_f64(*x));
+    }
+    out.push(']');
+    out
 }
 
 fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
@@ -276,6 +309,7 @@ fn run_e2e_mode(
     setup: E2eSetup,
     ops: usize,
     value_bytes: usize,
+    obs: ObsConfig,
 ) -> E2eMode {
     gf256::set_kernel(kernel);
     let (transport, clock_label, latency_scale) = match setup {
@@ -287,11 +321,13 @@ fn run_e2e_mode(
     let cluster = match setup {
         E2eSetup::InprocVirtual => Cluster::gcp9(ClusterOptions {
             clock: Clock::virtual_time(),
+            obs,
             ..Default::default()
         }),
         E2eSetup::InprocReal => Cluster::gcp9(ClusterOptions {
             clock: Clock::real(),
             latency_scale,
+            obs,
             ..Default::default()
         }),
         E2eSetup::TcpLoopback => {
@@ -305,6 +341,7 @@ fn run_e2e_mode(
             let options = ClusterOptions {
                 latency_scale,
                 op_timeout: Duration::from_secs(5),
+                obs,
                 ..Default::default()
             };
             Cluster::connect_tcp(model, options, &addrs).expect("connect tcp")
@@ -337,6 +374,9 @@ fn run_e2e_mode(
         get_ns.push(clock.now_ns() - t0);
     }
     let get_wall = wall.elapsed().as_secs_f64().max(1e-9);
+    // Per-phase breakdowns come from the client-side obs registry; scrape before the
+    // transport goes away. With obs off the histograms are absent and render as null.
+    let snap = cluster.obs().snapshot();
     cluster.shutdown();
     for handle in servers {
         handle.join().expect("join server thread").expect("server exits cleanly");
@@ -355,6 +395,14 @@ fn run_e2e_mode(
         put_p99_ms: percentile_ms(&put_ns, 0.99),
         get_p50_ms: percentile_ms(&get_ns, 0.50),
         get_p99_ms: percentile_ms(&get_ns, 0.99),
+        put_phase_p50_ms: std::array::from_fn(|i| {
+            snapshot_p50_ms(&snap, &format!("client.put.phase{}_ns", i + 1))
+        }),
+        get_phase_p50_ms: std::array::from_fn(|i| {
+            snapshot_p50_ms(&snap, &format!("client.get.phase{}_ns", i + 1))
+        }),
+        encode_p50_ms: snapshot_p50_ms(&snap, "client.encode_ns"),
+        decode_p50_ms: snapshot_p50_ms(&snap, "client.decode_ns"),
     }
 }
 
@@ -363,13 +411,28 @@ fn run_e2e(opts: &Options) -> String {
     // The first two modes pin the GF kernel on the virtual-clock deployment — the toggle
     // isolates the GF(256) contribution (the structural codec changes are always on; they
     // replaced the old code). The last two run the SIMD kernel under a real clock over
-    // each transport, so their delta is the TCP wire path itself.
+    // each transport, so their delta is the TCP wire path itself. All four run with
+    // metrics on, so every mode gets a per-phase latency breakdown.
+    let obs = ObsConfig::Metrics;
     let modes = [
-        run_e2e_mode("scalar_kernel", Kernel::Scalar, E2eSetup::InprocVirtual, ops, value_bytes),
-        run_e2e_mode("simd_kernel", Kernel::Simd, E2eSetup::InprocVirtual, ops, value_bytes),
-        run_e2e_mode("inproc_realtime", Kernel::Simd, E2eSetup::InprocReal, ops, value_bytes),
-        run_e2e_mode("tcp_loopback", Kernel::Simd, E2eSetup::TcpLoopback, ops, value_bytes),
+        run_e2e_mode("scalar_kernel", Kernel::Scalar, E2eSetup::InprocVirtual, ops, value_bytes, obs),
+        run_e2e_mode("simd_kernel", Kernel::Simd, E2eSetup::InprocVirtual, ops, value_bytes, obs),
+        run_e2e_mode("inproc_realtime", Kernel::Simd, E2eSetup::InprocReal, ops, value_bytes, obs),
+        run_e2e_mode("tcp_loopback", Kernel::Simd, E2eSetup::TcpLoopback, ops, value_bytes, obs),
     ];
+    // Telemetry overhead check: the same virtual-clock SIMD deployment with obs fully
+    // off. Virtual-clock p50s reflect modeled RTTs, so any drift here means telemetry
+    // changed the protocol's behaviour (extra messages, different quorums), not just
+    // burned CPU; CI asserts the fraction stays under 3%.
+    let obs_off =
+        run_e2e_mode("obs_off_baseline", Kernel::Simd, E2eSetup::InprocVirtual, ops, value_bytes, ObsConfig::Off);
+    let overhead_frac = (modes[1].put_p50_ms - obs_off.put_p50_ms) / obs_off.put_p50_ms;
+    eprintln!(
+        "obs overhead on virtual-clock PUT p50: off {:.3} ms, on {:.3} ms ({:+.2}%)",
+        obs_off.put_p50_ms,
+        modes[1].put_p50_ms,
+        overhead_frac * 100.0,
+    );
     gf256::set_kernel(Kernel::Simd);
     for m in &modes {
         eprintln!(
@@ -402,7 +465,9 @@ fn run_e2e(opts: &Options) -> String {
              \"latency_scale\": {}, \
              \"put_wall_ops_per_sec\": {}, \"get_wall_ops_per_sec\": {}, \
              \"put_p50_ms\": {}, \"put_p99_ms\": {}, \
-             \"get_p50_ms\": {}, \"get_p99_ms\": {}}}",
+             \"get_p50_ms\": {}, \"get_p99_ms\": {}, \
+             \"put_phase_p50_ms\": {}, \"get_phase_p50_ms\": {}, \
+             \"encode_p50_ms\": {}, \"decode_p50_ms\": {}}}",
             m.label,
             m.transport,
             m.clock,
@@ -413,10 +478,27 @@ fn run_e2e(opts: &Options) -> String {
             fmt_f64(m.put_p99_ms),
             fmt_f64(m.get_p50_ms),
             fmt_f64(m.get_p99_ms),
+            fmt_f64_array(&m.put_phase_p50_ms),
+            fmt_f64_array(&m.get_phase_p50_ms),
+            fmt_f64(m.encode_p50_ms),
+            fmt_f64(m.decode_p50_ms),
         );
         json.push_str(if i + 1 < modes.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"obs_overhead\": {{\"mode\": \"simd_kernel\", \"put_p50_off_ms\": {}, \
+         \"put_p50_on_ms\": {}, \"overhead_frac\": {}}}",
+        fmt_f64(obs_off.put_p50_ms),
+        fmt_f64(modes[1].put_p50_ms),
+        if overhead_frac.is_finite() {
+            format!("{overhead_frac:.4}")
+        } else {
+            "null".to_string()
+        },
+    );
+    json.push_str("}\n");
     json
 }
 

@@ -12,6 +12,7 @@ use crate::cluster::ClusterInner;
 use crate::inbox::DelayedInbox;
 use crate::transport::{Endpoint, ReplyEnvelope};
 use legostore_lincheck::recorder::fingerprint;
+use legostore_obs::{OpRecord, OpSpan, SpanEventKind};
 use legostore_proto::msg::{OpOutcome, OpProgress, Outbound, ProtoReply};
 use legostore_proto::server::{ControlMsg, DcServer, Inbound};
 use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
@@ -50,6 +51,16 @@ impl ClientOp {
             ClientOp::AbdGet(o) => o.resend_widened(),
             ClientOp::CasPut(o) => o.resend_widened(),
             ClientOp::CasGet(o) => o.resend_widened(),
+        }
+    }
+
+    /// The protocol phase the state machine is currently in (for telemetry spans).
+    fn current_phase(&self) -> u8 {
+        match self {
+            ClientOp::AbdPut(o) => o.current_phase(),
+            ClientOp::AbdGet(o) => o.current_phase(),
+            ClientOp::CasPut(o) => o.current_phase(),
+            ClientOp::CasGet(o) => o.current_phase(),
         }
     }
 
@@ -278,13 +289,93 @@ impl StoreClient {
         }
     }
 
+    /// Builds (or rebuilds) the operation state machine, recording the erasure-encode
+    /// duration on CAS PUTs when a span is active (`CasPut::new` splits the value into
+    /// coded elements).
+    fn build_op_traced(
+        &self,
+        key: &Key,
+        kind: OpKind,
+        config: &Configuration,
+        value: Option<&Value>,
+        span: &mut Option<OpSpan>,
+    ) -> ClientOp {
+        let Some(s) = span.as_mut() else {
+            return self.build_op(key, kind, config, value);
+        };
+        let clock = self.cluster.clock();
+        let build_started_ns = clock.now_ns();
+        let op = self.build_op(key, kind, config, value);
+        if kind.is_put() && matches!(config.protocol, ProtocolKind::Cas) {
+            let now = clock.now_ns();
+            s.push(now, SpanEventKind::Encode { dur_ns: now.saturating_sub(build_started_ns) });
+        }
+        op
+    }
+
     /// Runs one GET/PUT to completion, handling reconfiguration redirects and timeouts.
     /// Returns the value read (GETs) or the value written (PUTs) plus the one-phase flag.
+    ///
+    /// Telemetry wrapper: when observability is on, the whole operation is covered by an
+    /// [`OpSpan`] (phase starts, replies with their service/network split, retries), the
+    /// finished span feeds the client metric bundle and the bounded op-record queue, and
+    /// a terminal [`StoreError::QuorumUnreachable`] dumps the flight recorder to stderr
+    /// so the events leading up to the give-up are preserved.
     fn run_operation(
         &mut self,
         key: &Key,
         kind: OpKind,
         value: Option<Value>,
+    ) -> StoreResult<(Value, bool)> {
+        let obs = self.cluster.obs.clone();
+        if !obs.enabled() {
+            return self.run_operation_inner(key, kind, value, &mut None);
+        }
+        let clock = self.cluster.clock().clone();
+        let started_ns = clock.now_ns();
+        let mut span = Some(OpSpan::new(obs.next_op_id(), kind, key.as_str(), self.dc, started_ns));
+        let result = self.run_operation_inner(key, kind, value, &mut span);
+        let mut span = span.expect("span is only taken here");
+        let completed_ns = clock.now_ns();
+        let ok = result.is_ok();
+        span.push(completed_ns, SpanEventKind::Finished { ok });
+        self.cluster.client_metrics.observe_span(&span, completed_ns, ok);
+        obs.push_op(OpRecord {
+            op_id: span.op_id,
+            kind,
+            key: key.as_str().to_string(),
+            origin: self.dc,
+            started_ns,
+            completed_ns,
+            object_bytes: result
+                .as_ref()
+                .map(|(v, _)| v.as_bytes().len() as u64)
+                .unwrap_or(0),
+            ok,
+        });
+        if obs.trace_enabled() {
+            eprintln!("{}", span.render());
+        }
+        if let Err(StoreError::QuorumUnreachable { attempts, last }) = &result {
+            obs.flight().record(
+                completed_ns,
+                span.op_id,
+                format!("{kind} {key} gave up after {attempts} attempts (last: {last})"),
+            );
+            obs.flight()
+                .dump_to_stderr(&format!("{kind} {key} from {} hit QuorumUnreachable", self.dc));
+        }
+        result
+    }
+
+    /// The uninstrumented operation loop behind [`StoreClient::run_operation`]; `span`
+    /// is `Some` only when observability is enabled.
+    fn run_operation_inner(
+        &mut self,
+        key: &Key,
+        kind: OpKind,
+        value: Option<Value>,
+        span: &mut Option<OpSpan>,
     ) -> StoreResult<(Value, bool)> {
         let mut config = self.config_for(key)?;
         let max_attempts = self.cluster.options.max_attempts.max(1);
@@ -300,8 +391,12 @@ impl StoreClient {
         // The machine is rebuilt only when the configuration itself changed (reconfig
         // redirect or epoch bump) or after a retryable in-protocol failure, which only
         // effect-free reads report.
-        let mut op = self.build_op(key, kind, &config, value.as_ref());
+        let mut op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
         let mut resume = false;
+        // Span bookkeeping: which phase is running and when it started (a reply's
+        // network share is measured from the start of the phase that solicited it).
+        let mut last_phase: u8 = 0;
+        let mut phase_started_ns: u64 = 0;
         for _attempt in 0..max_attempts {
             let endpoint = self.cluster.transport.open_endpoint();
             let deadline_ns =
@@ -312,6 +407,11 @@ impl StoreClient {
             // are discarded at the source (and cannot hold a virtual clock back).
             let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
             let mut outbound = if resume { op.resend_widened() } else { op.start() };
+            if let Some(s) = span.as_mut() {
+                last_phase = op.current_phase();
+                phase_started_ns = clock.now_ns();
+                s.push(phase_started_ns, SpanEventKind::PhaseStart { phase: last_phase });
+            }
             // Metadata round trip owed after a reconfiguration redirect; slept only once
             // the attempt's reply channel is closed (a bare sleep with an open channel
             // could strand straggler replies and stall a virtual clock).
@@ -341,9 +441,34 @@ impl StoreClient {
                         break; // timeout: resume with a widened re-send
                     }
                 };
+                let reply_seen_ns = span.as_mut().map(|s| {
+                    let now = clock.now_ns();
+                    let network_ns =
+                        now.saturating_sub(phase_started_ns).saturating_sub(env.service_ns);
+                    s.push(
+                        now,
+                        SpanEventKind::Reply {
+                            from: env.from,
+                            phase: env.phase,
+                            service_ns: env.service_ns,
+                            network_ns,
+                        },
+                    );
+                    now
+                });
                 match op.on_reply(env.from, env.phase, env.reply) {
                     OpProgress::Pending => {}
-                    OpProgress::Send(msgs) => outbound = msgs,
+                    OpProgress::Send(msgs) => {
+                        outbound = msgs;
+                        if let Some(s) = span.as_mut() {
+                            let phase = op.current_phase();
+                            if phase != last_phase {
+                                last_phase = phase;
+                                phase_started_ns = clock.now_ns();
+                                s.push(phase_started_ns, SpanEventKind::PhaseStart { phase });
+                            }
+                        }
+                    }
                     OpProgress::Done(outcome) => match outcome {
                         OpOutcome::PutOk { tag } => {
                             if let Some(v) = &value {
@@ -352,6 +477,19 @@ impl StoreClient {
                             return Ok((value.unwrap_or_else(Value::empty), false));
                         }
                         OpOutcome::GetOk { tag, value, one_phase } => {
+                            if let Some(s) = span.as_mut() {
+                                // The completing on_reply of a CAS GET reassembles the
+                                // value from coded elements — charge it as decode time.
+                                if matches!(config.protocol, ProtocolKind::Cas) {
+                                    let now = clock.now_ns();
+                                    let dur_ns =
+                                        now.saturating_sub(reply_seen_ns.unwrap_or(now));
+                                    s.push(now, SpanEventKind::Decode { dur_ns });
+                                }
+                                if one_phase {
+                                    self.cluster.client_metrics.one_phase_gets.inc();
+                                }
+                            }
                             self.cas_cache.insert(key.clone(), (tag, value.clone()));
                             return Ok((value, one_phase));
                         }
@@ -359,6 +497,18 @@ impl StoreClient {
                             // Fetch the new configuration (modeled as a metadata round trip
                             // to the controller DC) and restart against it.
                             self.stats.reconfig_restarts += 1;
+                            if let Some(s) = span.as_mut() {
+                                let now = clock.now_ns();
+                                s.push(now, SpanEventKind::ReconfigRestart);
+                                self.cluster.obs.flight().record(
+                                    now,
+                                    s.op_id,
+                                    format!(
+                                        "{kind} {key}: restarting against epoch {}",
+                                        new_config.epoch
+                                    ),
+                                );
+                            }
                             metadata_pause = Some(self.cluster.reply_delay(
                                 self.dc,
                                 self.cluster.options.controller_dc,
@@ -369,7 +519,7 @@ impl StoreClient {
                             last_error = StoreError::OperationFailedByReconfig {
                                 new_epoch: config.epoch,
                             };
-                            op = self.build_op(key, kind, &config, value.as_ref());
+                            op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
                             resume = false;
                             break;
                         }
@@ -380,7 +530,7 @@ impl StoreClient {
                                 // machine is safe — and re-querying picks up the newest
                                 // finalized tag, which a resumed read would keep missing.
                                 last_error = err;
-                                op = self.build_op(key, kind, &config, value.as_ref());
+                                op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
                                 resume = false;
                                 break;
                             }
@@ -404,13 +554,26 @@ impl StoreClient {
             if let Ok(fresh) = self.refresh_view(key) {
                 if fresh.epoch > config.epoch {
                     config = fresh;
-                    op = self.build_op(key, kind, &config, value.as_ref());
+                    op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
                     resume = false;
                     continue;
                 }
             }
             resume = true;
             self.stats.timeout_restarts += 1;
+            if let Some(s) = span.as_mut() {
+                let now = clock.now_ns();
+                let phase = op.current_phase();
+                s.push(now, SpanEventKind::TimeoutWiden { phase });
+                self.cluster.obs.flight().record(
+                    now,
+                    s.op_id,
+                    format!(
+                        "{kind} {key}: attempt timed out in phase {phase} ({last_error}); \
+                         widening to the full placement"
+                    ),
+                );
+            }
         }
         // Every attempt ended in a retryable failure (timeouts, reconfiguration races,
         // transport loss): report the terminal verdict instead of the last symptom, so

@@ -15,13 +15,15 @@ use crate::transport::{
 };
 use legostore_cloud::CloudModel;
 use legostore_lincheck::HistoryRecorder;
+use legostore_obs::{ClientMetrics, MetricsSnapshot, Obs, ObsConfig, ServerMetrics};
+use legostore_proto::msg::MSG_KIND_NAMES;
 use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
 use legostore_proto::server::{ControlMsg, DcServer, Inbound, MAX_REPLY_ROUTES};
 use legostore_types::{
     Configuration, DcId, FaultPlan, Key, StoreError, StoreResult, Tag, Value,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
@@ -59,6 +61,10 @@ pub struct ClusterOptions {
     /// drives both transports: verdicts are drawn on the client side of the seam, whether
     /// the message then crosses a channel or a socket.
     pub fault_plan: FaultPlan,
+    /// Telemetry level (see [`ObsConfig`]). Defaults to [`ObsConfig::from_env`], so
+    /// `LEGOSTORE_OBS=1` / `LEGOSTORE_TRACE=1` light up any deployment without a code
+    /// change; `Off` costs one relaxed atomic load per would-be instrumentation point.
+    pub obs: ObsConfig,
 }
 
 impl Default for ClusterOptions {
@@ -73,6 +79,7 @@ impl Default for ClusterOptions {
             optimized_get: true,
             clock: Clock::real(),
             fault_plan: FaultPlan::none(),
+            obs: ObsConfig::from_env(),
         }
     }
 }
@@ -84,6 +91,12 @@ pub(crate) struct ClusterInner {
     pub(crate) metadata: Mutex<HashMap<Key, Configuration>>,
     pub(crate) recorder: Arc<HistoryRecorder>,
     pub(crate) next_client_id: AtomicU32,
+    /// Client-process telemetry (spans, flight recorder, transport drop counters). Every
+    /// [`StoreClient`](crate::client::StoreClient) of this deployment feeds it; servers
+    /// each have their own `Obs`, scraped through the transport.
+    pub(crate) obs: Obs,
+    /// Pre-resolved client metric handles (shared by all clients of the deployment).
+    pub(crate) client_metrics: ClientMetrics,
 }
 
 impl ClusterInner {
@@ -132,6 +145,18 @@ impl ClusterInner {
     }
 }
 
+/// One [`Cluster::stats`] scrape: the client-process metrics snapshot plus one snapshot
+/// per data-center server, fetched through the transport (in-process channel or the
+/// `StatsRequest`/`StatsReply` wire frames — the same call works against a 6-process
+/// TCP deployment).
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Client-side metrics: operation spans, retries, transport fault drops.
+    pub client: MetricsSnapshot,
+    /// Per-DC server metrics, keyed by data center.
+    pub servers: BTreeMap<DcId, MetricsSnapshot>,
+}
+
 /// A LEGOStore deployment (in-process or over TCP).
 pub struct Cluster {
     pub(crate) inner: Arc<ClusterInner>,
@@ -143,14 +168,19 @@ impl Cluster {
     pub fn new(model: CloudModel, options: ClusterOptions) -> Cluster {
         let model = Arc::new(model);
         let clock = options.clock.clone();
+        let obs = Obs::new(options.obs);
         let links = LinkPolicy::new(
             model.clone(),
             options.latency_scale,
             options.metadata_bytes,
             clock.clone(),
             &options.fault_plan,
+            obs.clone(),
         );
         let (transport, receivers) = InProcTransport::new(links, model.dc_ids());
+        let obs_level = options.obs;
+        let metadata_bytes = options.metadata_bytes;
+        let client_metrics = ClientMetrics::new(&obs);
         let inner = Arc::new(ClusterInner {
             model,
             options,
@@ -158,14 +188,19 @@ impl Cluster {
             metadata: Mutex::new(HashMap::new()),
             recorder: Arc::new(HistoryRecorder::new()),
             next_client_id: AtomicU32::new(1),
+            obs,
+            client_metrics,
         });
         let handles = receivers
             .into_iter()
             .map(|(dc, rx)| {
                 let clock = clock.clone();
+                // Each server thread owns its own `Obs` — per-DC registries, exactly
+                // like one per server process — answered via `ServerMsg::Stats`.
+                let obs = Obs::new(obs_level);
                 std::thread::Builder::new()
                     .name(format!("legostore-server-{dc}"))
-                    .spawn(move || server_loop(dc, rx, clock))
+                    .spawn(move || server_loop(dc, rx, clock, obs, metadata_bytes))
                     .expect("spawn server thread")
             })
             .collect();
@@ -199,14 +234,17 @@ impl Cluster {
                 return Err(StoreError::Transport(format!("no server address for {dc}")));
             }
         }
+        let obs = Obs::new(options.obs);
         let links = LinkPolicy::new(
             model.clone(),
             options.latency_scale,
             options.metadata_bytes,
             options.clock.clone(),
             &options.fault_plan,
+            obs.clone(),
         );
         let transport = TcpTransport::connect(links, addrs)?;
+        let client_metrics = ClientMetrics::new(&obs);
         let inner = Arc::new(ClusterInner {
             model,
             options,
@@ -214,6 +252,8 @@ impl Cluster {
             metadata: Mutex::new(HashMap::new()),
             recorder: Arc::new(HistoryRecorder::new()),
             next_client_id: AtomicU32::new(1),
+            obs,
+            client_metrics,
         });
         Ok(Cluster { inner, handles: Vec::new() })
     }
@@ -242,6 +282,23 @@ impl Cluster {
     /// The shared operation-history recorder (for linearizability checking).
     pub fn recorder(&self) -> Arc<HistoryRecorder> {
         self.inner.recorder.clone()
+    }
+
+    /// The client-process telemetry handle: metrics registry, per-op records, and the
+    /// fault flight recorder. Inert unless [`ClusterOptions::obs`] enables it.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Scrapes the full deployment: the local client snapshot plus every data-center
+    /// server's snapshot through the transport. Works identically for in-process
+    /// servers (channel round trip) and multi-process TCP servers (stats frames).
+    pub fn stats(&self) -> StoreResult<ClusterStats> {
+        let mut servers = BTreeMap::new();
+        for dc in self.inner.model.dc_ids() {
+            servers.insert(dc, self.inner.transport.fetch_stats(dc)?);
+        }
+        Ok(ClusterStats { client: self.inner.obs.snapshot(), servers })
     }
 
     /// The authoritative configuration of `key`, if it exists.
@@ -414,9 +471,22 @@ impl Drop for Cluster {
 
 /// The per-DC server thread: dispatches protocol messages to the shared `DcServer` state and
 /// routes replies back to the endpoint that sent each (possibly deferred) request.
-fn server_loop(dc: DcId, rx: ClockedReceiver<ServerMsg>, clock: Clock) {
+///
+/// Telemetry: message/byte counters use the *modeled* wire sizes (the same
+/// `wire_size(metadata_bytes)` the latency model charges for), and `handle` dispatch
+/// time comes off the deployment clock — so under a virtual clock, durations are the
+/// modeled ones (deterministically 0 for compute, since busy threads pin virtual time)
+/// and two identical runs snapshot identically.
+fn server_loop(
+    dc: DcId,
+    rx: ClockedReceiver<ServerMsg>,
+    clock: Clock,
+    obs: Obs,
+    metadata_bytes: u64,
+) {
     let _participant = clock.enter();
     let mut server = DcServer::new(dc);
+    let metrics = ServerMetrics::new(&obs, &MSG_KIND_NAMES);
     // endpoint → (reply channel, message counter at last request from that endpoint).
     let mut reply_routes: HashMap<u64, (crate::clock::ClockedSender<ReplyEnvelope>, u64)> =
         HashMap::new();
@@ -425,6 +495,13 @@ fn server_loop(dc: DcId, rx: ClockedReceiver<ServerMsg>, clock: Clock) {
         match msg {
             ServerMsg::Shutdown => break,
             ServerMsg::Control(ctrl) => server.apply_control(ctrl),
+            ServerMsg::Stats(reply) => {
+                // Point-in-time gauges are refreshed at scrape time; everything else
+                // accumulated as requests were dispatched.
+                metrics.keys.set(server.key_count() as u64);
+                metrics.storage_bytes.set(server.storage_bytes());
+                let _ = reply.send(obs.snapshot());
+            }
             ServerMsg::Request { reply_to, inbound } => {
                 msg_counter += 1;
                 reply_routes.insert(inbound.from, (reply_to, msg_counter));
@@ -438,13 +515,27 @@ fn server_loop(dc: DcId, rx: ClockedReceiver<ServerMsg>, clock: Clock) {
                         MAX_REPLY_ROUTES / 2,
                     );
                 }
+                let enabled = obs.enabled();
+                let (msg_kind, phase) = (inbound.msg.kind_index(), inbound.phase);
+                if enabled {
+                    metrics.bytes_in.add(inbound.msg.wire_size(metadata_bytes));
+                }
+                let handled_at = clock.now_ns();
                 let replies = server.handle(inbound);
+                let service_ns = clock.now_ns().saturating_sub(handled_at);
+                if enabled {
+                    metrics.on_request(msg_kind, phase, service_ns, replies.len() as u64);
+                    metrics
+                        .bytes_out
+                        .add(replies.iter().map(|r| r.reply.wire_size(metadata_bytes)).sum());
+                }
                 for r in replies {
                     if let Some((route, _)) = reply_routes.get(&r.to) {
                         let _ = route.send(ReplyEnvelope {
                             endpoint: r.to,
                             from: dc,
                             sent_at_ns: clock.now_ns(),
+                            service_ns,
                             phase: r.phase,
                             reply: r.reply,
                         });

@@ -36,5 +36,5 @@ pub mod transport;
 
 pub use client::StoreClient;
 pub use clock::Clock;
-pub use cluster::{Cluster, ClusterOptions};
+pub use cluster::{Cluster, ClusterOptions, ClusterStats};
 pub use transport::{Endpoint, ReplyEnvelope, Transport};

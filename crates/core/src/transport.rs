@@ -29,6 +29,7 @@
 use crate::clock::{Clock, ClockedReceiver, ClockedSender};
 use crate::inbox::DelayedInbox;
 use legostore_cloud::CloudModel;
+use legostore_obs::{Counter, MetricsSnapshot, Obs};
 use legostore_proto::msg::ProtoReply;
 use legostore_proto::server::{ControlMsg, Inbound};
 use legostore_proto::wire::Frame;
@@ -51,6 +52,11 @@ pub struct ReplyEnvelope {
     /// In-process transports stamp it at the server; the TCP transport re-stamps on
     /// arrival, because the sending process's clock is not comparable to ours.
     pub sent_at_ns: u64,
+    /// Server-reported processing duration for the request this reply answers, in the
+    /// server's own clock. A *duration* stays meaningful across processes even though
+    /// the server's timestamps do not, so clients can split round-trip time into
+    /// network and service components.
+    pub service_ns: u64,
     /// Echoed protocol phase.
     pub phase: u8,
     /// Reply body.
@@ -66,12 +72,23 @@ pub(crate) enum ServerMsg {
     },
     /// An out-of-band administration command.
     Control(ControlMsg),
+    /// A telemetry scrape: the server answers with a snapshot of its metrics registry
+    /// on the enclosed (unclocked) channel. Scrapes ride the same queue as requests so
+    /// a snapshot reflects everything the server processed before it.
+    Stats(std::sync::mpsc::Sender<MetricsSnapshot>),
     /// Ends the server loop.
     Shutdown,
 }
 
 /// Demux table mapping live endpoint ids to their reply queues (TCP transport only).
 type ReplyRoutes = Arc<Mutex<HashMap<u64, ClockedSender<ReplyEnvelope>>>>;
+
+/// Pending stats scrapes keyed by token (TCP transport only): the reader thread routes
+/// each `StatsReply` frame to the scraping thread that sent the matching request.
+type StatsWaiters = Arc<Mutex<HashMap<u64, std::sync::mpsc::Sender<(DcId, MetricsSnapshot)>>>>;
+
+/// How long a [`Transport::fetch_stats`] scrape waits for the server's snapshot.
+const STATS_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A reply-receiving endpoint: one per operation attempt (and one per reconfiguration).
 ///
@@ -148,6 +165,12 @@ pub trait Transport: Send + Sync {
     /// destinations are ignored (best-effort, like the drivers' admin paths).
     fn control(&self, to: DcId, msg: ControlMsg) -> StoreResult<()>;
 
+    /// Scrapes the telemetry snapshot of the server at `to`. In-process servers answer
+    /// over a channel; socket servers answer with a `StatsReply` frame routed back by
+    /// token. Scrapes bypass the fault plan — they are operator telemetry, not protocol
+    /// traffic, and must work while the data plane is being faulted.
+    fn fetch_stats(&self, to: DcId) -> StoreResult<MetricsSnapshot>;
+
     /// Whether this transport participates in [`Clock::virtual_time`]'s in-flight
     /// accounting (the quiescence rule "advance only when no message is in flight").
     /// Transports that move bytes outside the clocked channels — real sockets — must
@@ -169,6 +192,11 @@ pub(crate) struct LinkPolicy {
     /// Interpreter of the fault plan; `None` when the plan is empty so the fault-free
     /// message path takes no lock.
     pub(crate) faults: Option<Mutex<FaultState>>,
+    /// Client-process telemetry handle (fault drops are observed on this side of the
+    /// seam, where the verdicts are drawn).
+    pub(crate) obs: Obs,
+    drops_request: Arc<Counter>,
+    drops_reply: Arc<Counter>,
 }
 
 impl LinkPolicy {
@@ -178,9 +206,12 @@ impl LinkPolicy {
         metadata_bytes: u64,
         clock: Clock,
         fault_plan: &FaultPlan,
+        obs: Obs,
     ) -> Self {
         let faults = (!fault_plan.is_empty()).then(|| Mutex::new(FaultState::new(fault_plan)));
-        LinkPolicy { model, latency_scale, metadata_bytes, clock, faults }
+        let drops_request = obs.registry().counter("transport.drops.request");
+        let drops_reply = obs.registry().counter("transport.drops.reply");
+        LinkPolicy { model, latency_scale, metadata_bytes, clock, faults, obs, drops_request, drops_reply }
     }
 
     /// One-way + return delay the client should wait before consuming a reply from `from`.
@@ -208,6 +239,22 @@ impl LinkPolicy {
         state.verdict(from, to)
     }
 
+    /// Request-leg verdict plus drop accounting: both transports call this from
+    /// `send_request` so a fault-dropped request shows up in the drop counter and the
+    /// flight recorder even though the caller sees `Ok(())`.
+    pub(crate) fn request_deliveries(&self, from: DcId, to: DcId) -> Option<(u32, f64)> {
+        let deliveries = self.verdict(from, to).deliveries();
+        if deliveries.is_none() && self.obs.enabled() {
+            self.drops_request.inc();
+            self.obs.flight().record(
+                self.clock.now_ns(),
+                0,
+                format!("fault verdict dropped request {from} -> {to}"),
+            );
+        }
+        deliveries
+    }
+
     /// Shared reply-leg implementation of [`Transport::buffer_reply`]: a faulted link
     /// drops the reply (the client only notices via its attempt timeout), a slow or lossy
     /// link defers it past the fault-free arrival instant, and a duplicating link buffers
@@ -220,6 +267,14 @@ impl LinkPolicy {
         env: ReplyEnvelope,
     ) {
         let Some((copies, extra_ms)) = self.verdict(env.from, at).deliveries() else {
+            if self.obs.enabled() {
+                self.drops_reply.inc();
+                self.obs.flight().record(
+                    self.clock.now_ns(),
+                    env.endpoint,
+                    format!("fault verdict dropped reply {} -> {at} (phase {})", env.from, env.phase),
+                );
+            }
             return;
         };
         let delay = self.reply_delay(at, env.from, env.reply.wire_size(self.metadata_bytes))
@@ -274,7 +329,7 @@ impl Transport for InProcTransport {
         endpoint: &Endpoint,
         inbound: Inbound,
     ) -> StoreResult<()> {
-        let Some((copies, _)) = self.links.verdict(from, to).deliveries() else {
+        let Some((copies, _)) = self.links.request_deliveries(from, to) else {
             return Ok(());
         };
         let sender = self
@@ -305,6 +360,23 @@ impl Transport for InProcTransport {
         Ok(())
     }
 
+    fn fetch_stats(&self, to: DcId) -> StoreResult<MetricsSnapshot> {
+        let sender = self
+            .senders
+            .get(&to)
+            .ok_or_else(|| StoreError::Transport(format!("unknown data center {to}")))?;
+        // The answer channel is a plain std channel, not a clocked one: a scrape is
+        // operator traffic outside the modeled message flow, so it must not count
+        // toward the virtual clock's in-flight accounting (the scraping thread blocks
+        // here in real time while virtual time is free to advance).
+        let (tx, rx) = std::sync::mpsc::channel();
+        sender
+            .send(ServerMsg::Stats(tx))
+            .map_err(|_| StoreError::Transport(format!("server {to} has shut down")))?;
+        rx.recv_timeout(STATS_TIMEOUT)
+            .map_err(|_| StoreError::Transport(format!("stats scrape of {to} timed out")))
+    }
+
     fn supports_virtual_time(&self) -> bool {
         true
     }
@@ -333,7 +405,10 @@ pub struct TcpTransport {
     peers: HashMap<DcId, Mutex<TcpStream>>,
     /// endpoint id → reply channel (the demux table reader threads route through).
     routes: ReplyRoutes,
+    /// stats token → waiting scraper (see [`StatsWaiters`]).
+    stats_waiters: StatsWaiters,
     next_endpoint: AtomicU64,
+    next_stats_token: AtomicU64,
     readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     down: AtomicBool,
 }
@@ -357,6 +432,7 @@ impl TcpTransport {
         }
         let routes: ReplyRoutes =
             Arc::new(Mutex::new(HashMap::new()));
+        let stats_waiters: StatsWaiters = Arc::new(Mutex::new(HashMap::new()));
         let mut peers = HashMap::new();
         let mut readers = Vec::new();
         for (&dc, &addr) in addrs {
@@ -364,10 +440,11 @@ impl TcpTransport {
             stream.set_nodelay(true).map_err(transport_err)?;
             let reader_stream = stream.try_clone().map_err(transport_err)?;
             let routes = routes.clone();
+            let waiters = stats_waiters.clone();
             let clock = links.clock.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("legostore-tcp-reader-{dc}"))
-                .spawn(move || reader_loop(reader_stream, routes, clock))
+                .spawn(move || reader_loop(reader_stream, routes, waiters, clock))
                 .map_err(transport_err)?;
             readers.push(handle);
             peers.insert(dc, Mutex::new(stream));
@@ -380,7 +457,9 @@ impl TcpTransport {
             links,
             peers,
             routes,
+            stats_waiters,
             next_endpoint: AtomicU64::new(seed),
+            next_stats_token: AtomicU64::new(seed),
             readers: Mutex::new(readers),
             down: AtomicBool::new(false),
         })
@@ -420,24 +499,33 @@ fn connect_with_retry(addr: SocketAddr) -> StoreResult<TcpStream> {
 fn reader_loop(
     mut stream: TcpStream,
     routes: ReplyRoutes,
+    stats_waiters: StatsWaiters,
     clock: Clock,
 ) {
     loop {
         match Frame::read_from(&mut stream) {
-            Ok(Some(Frame::Reply { endpoint, from, phase, reply, .. })) => {
+            Ok(Some(Frame::Reply { endpoint, from, service_ns, phase, reply, .. })) => {
                 let Some(route) = routes.lock().get(&endpoint).cloned() else {
                     continue; // the attempt already finished; discard the straggler
                 };
-                // Re-stamp with our clock: the server's clock is another process's.
+                // Re-stamp the arrival instant with our clock (the server's clock is
+                // another process's); `service_ns` is a duration, so it survives the
+                // process boundary untouched.
                 let _ = route.send(ReplyEnvelope {
                     endpoint,
                     from,
                     sent_at_ns: clock.now_ns(),
+                    service_ns,
                     phase,
                     reply,
                 });
             }
-            Ok(Some(_)) => {} // servers only send replies; ignore anything else
+            Ok(Some(Frame::StatsReply { token, dc, snapshot })) => {
+                if let Some(waiter) = stats_waiters.lock().remove(&token) {
+                    let _ = waiter.send((dc, snapshot));
+                }
+            }
+            Ok(Some(_)) => {} // servers send nothing else; ignore anything unexpected
             Ok(None) | Err(_) => return,
         }
     }
@@ -460,7 +548,7 @@ impl Transport for TcpTransport {
     ) -> StoreResult<()> {
         // Request-leg fault verdict, drawn on this side of the socket so the same seeded
         // plan drives both transports identically.
-        let Some((copies, _)) = self.links.verdict(from, to).deliveries() else {
+        let Some((copies, _)) = self.links.request_deliveries(from, to) else {
             return Ok(());
         };
         let frame = Frame::Request(inbound);
@@ -479,6 +567,23 @@ impl Transport for TcpTransport {
             return Ok(());
         }
         self.write_frame(to, &Frame::Control(msg))
+    }
+
+    fn fetch_stats(&self, to: DcId) -> StoreResult<MetricsSnapshot> {
+        let token = self.next_stats_token.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.stats_waiters.lock().insert(token, tx);
+        if let Err(e) = self.write_frame(to, &Frame::StatsRequest { token }) {
+            self.stats_waiters.lock().remove(&token);
+            return Err(e);
+        }
+        match rx.recv_timeout(STATS_TIMEOUT) {
+            Ok((_dc, snapshot)) => Ok(snapshot),
+            Err(_) => {
+                self.stats_waiters.lock().remove(&token);
+                Err(StoreError::Transport(format!("stats scrape of {to} timed out")))
+            }
+        }
     }
 
     fn supports_virtual_time(&self) -> bool {

@@ -1,0 +1,109 @@
+//! The fault flight recorder: a bounded ring of recent span events.
+//!
+//! Every span event a component records (when observability is enabled) is also pushed
+//! into this ring, so that when something goes wrong — a terminal
+//! `QuorumUnreachable`, a linearizability-check failure in a stress suite — the last
+//! moments of protocol activity can be dumped as a timeline without having kept
+//! unbounded logs. The ring holds [`FlightRecorder::DEFAULT_CAPACITY`] events and
+//! overwrites the oldest.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One entry in the flight-recorder ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Clock nanoseconds when the event happened (modeled time under a virtual clock).
+    pub at_ns: u64,
+    /// Operation the event belongs to (`0` for events outside any operation, e.g.
+    /// transport-level fault drops).
+    pub op_id: u64,
+    /// Human-readable description of what happened.
+    pub what: String,
+}
+
+/// Bounded ring buffer of recent [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<FlightEvent>>,
+    capacity: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Events kept before the oldest is overwritten.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a recorder holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder { ring: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    /// Appends an event, evicting the oldest entry when the ring is full.
+    pub fn record(&self, at_ns: u64, op_id: u64, what: String) {
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(FlightEvent { at_ns, op_id, what });
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring poisoned").len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all held events.
+    pub fn clear(&self) {
+        self.ring.lock().expect("flight ring poisoned").clear();
+    }
+
+    /// Renders the ring, oldest first, as a timeline headed by `reason`.
+    pub fn dump(&self, reason: &str) -> String {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        let mut out = String::new();
+        let _ = writeln!(out, "--- flight recorder: {reason} ({} events) ---", ring.len());
+        for ev in ring.iter() {
+            let _ = writeln!(out, "[{:>14} ns  op#{:<6}] {}", ev.at_ns, ev.op_id, ev.what);
+        }
+        out.push_str("--- end flight recorder ---\n");
+        out
+    }
+
+    /// Writes [`FlightRecorder::dump`] to stderr — the automatic path taken on a
+    /// terminal `QuorumUnreachable` and on stress-suite linearizability failures.
+    pub fn dump_to_stderr(&self, reason: &str) {
+        eprintln!("{}", self.dump(reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record(i, i, format!("event {i}"));
+        }
+        assert_eq!(fr.len(), 3);
+        let dump = fr.dump("test");
+        assert!(!dump.contains("event 0"), "{dump}");
+        assert!(!dump.contains("event 1"), "{dump}");
+        assert!(dump.contains("event 2") && dump.contains("event 4"), "{dump}");
+        fr.clear();
+        assert!(fr.is_empty());
+    }
+}

@@ -106,6 +106,22 @@ impl WorkloadMonitor {
         self.evict(obs.at_ms);
     }
 
+    /// Ingests one live [`OpRecord`](legostore_obs::OpRecord) from the telemetry layer
+    /// (the runtime's span stream, drained via `Obs::drain_ops`), converting its clock
+    /// nanoseconds to the monitor's model milliseconds. `latency_scale` is the
+    /// deployment's RTT scaling factor — dividing by it recovers model time, so the
+    /// same SLO thresholds work at any scale (and under a virtual clock).
+    pub fn ingest(&mut self, rec: &legostore_obs::OpRecord, latency_scale: f64) {
+        let to_model_ms = |ns: u64| ns as f64 / 1_000_000.0 / latency_scale;
+        self.record(OpObservation {
+            at_ms: to_model_ms(rec.completed_ns),
+            origin: rec.origin,
+            kind: rec.kind,
+            latency_ms: to_model_ms(rec.latency_ns()),
+            object_bytes: rec.object_bytes,
+        });
+    }
+
     /// Number of observations currently inside the window.
     pub fn len(&self) -> usize {
         self.observations.len()
@@ -380,6 +396,39 @@ mod tests {
         let est = m.estimate(&planned());
         assert!(est.arrival_rate > 300.0);
         assert_eq!(est.client_dcs(), vec![DcId(3)]);
+    }
+
+    #[test]
+    fn ingest_converts_op_records_to_model_time() {
+        let mut m = WorkloadMonitor::new(60_000.0, 700.0, 800.0);
+        let rec = legostore_obs::OpRecord {
+            op_id: 1,
+            kind: OpKind::Put,
+            key: "k".into(),
+            origin: DcId(3),
+            started_ns: 0,
+            completed_ns: 2_000_000, // 2 ms of (scaled) clock time
+            object_bytes: 4096,
+            ok: true,
+        };
+        m.ingest(&rec, 0.01); // 1% latency scale → 200 model ms, inside the PUT SLO
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.mean_object_bytes(), 4096);
+        assert_eq!(m.slo_violations().0, 0);
+        // 9 scaled ms is 900 model ms: a GET SLO violation once unscaled.
+        let slow = legostore_obs::OpRecord {
+            op_id: 2,
+            kind: OpKind::Get,
+            key: "k".into(),
+            origin: DcId(3),
+            started_ns: 2_000_000,
+            completed_ns: 11_000_000,
+            object_bytes: 4096,
+            ok: true,
+        };
+        m.ingest(&slow, 0.01);
+        assert_eq!(m.slo_violations().0, 1);
+        assert_eq!(m.client_distribution(), vec![(DcId(3), 1.0)]);
     }
 
     #[test]

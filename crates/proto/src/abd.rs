@@ -105,6 +105,12 @@ impl AbdPut {
         self.new_tag
     }
 
+    /// The 1-based protocol phase currently collecting replies (telemetry spans
+    /// stamp phase boundaries with this).
+    pub fn current_phase(&self) -> u8 {
+        self.phase
+    }
+
     /// `(needed, received)` of the current phase's quorum — how far the stalled phase
     /// got, for timeout diagnostics.
     pub fn pending_quorum(&self) -> (usize, usize) {
@@ -257,6 +263,11 @@ impl AbdGet {
             best: None,
             tag_counts: BTreeMap::new(),
         }
+    }
+
+    /// The 1-based protocol phase currently collecting replies.
+    pub fn current_phase(&self) -> u8 {
+        self.phase
     }
 
     /// `(needed, received)` of the current phase's quorum (timeout diagnostics).

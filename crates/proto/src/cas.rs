@@ -185,6 +185,11 @@ impl CasPut {
         self.new_tag
     }
 
+    /// The 1-based protocol phase currently collecting replies.
+    pub fn current_phase(&self) -> u8 {
+        self.phase
+    }
+
     /// `(needed, received)` of the current phase's quorum (timeout diagnostics).
     pub fn pending_quorum(&self) -> (usize, usize) {
         let q = match self.phase {
@@ -366,6 +371,11 @@ impl CasGet {
             phase2_targets: 0,
             cache,
         }
+    }
+
+    /// The 1-based protocol phase currently collecting replies.
+    pub fn current_phase(&self) -> u8 {
+        self.phase
     }
 
     /// `(needed, received)` of the current phase's quorum (timeout diagnostics).

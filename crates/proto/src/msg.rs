@@ -173,7 +173,47 @@ pub enum OpOutcome {
     Failed(StoreError),
 }
 
+/// Snake-case names for every [`ProtoMsg`] variant, index-aligned with
+/// [`ProtoMsg::kind_index`]. Servers use these to label per-message-kind metrics
+/// without the telemetry crate depending on this one.
+pub const MSG_KIND_NAMES: [&str; 11] = [
+    "abd_read_query",
+    "abd_write_query",
+    "abd_write",
+    "cas_query",
+    "cas_pre_write",
+    "cas_finalize_write",
+    "cas_finalize_read",
+    "reconfig_query",
+    "reconfig_get",
+    "reconfig_write",
+    "finish_reconfig",
+];
+
 impl ProtoMsg {
+    /// Position of this variant in [`MSG_KIND_NAMES`] (and in the wire encoding's
+    /// kind-byte ordering).
+    pub fn kind_index(&self) -> usize {
+        match self {
+            ProtoMsg::AbdReadQuery => 0,
+            ProtoMsg::AbdWriteQuery => 1,
+            ProtoMsg::AbdWrite { .. } => 2,
+            ProtoMsg::CasQuery => 3,
+            ProtoMsg::CasPreWrite { .. } => 4,
+            ProtoMsg::CasFinalizeWrite { .. } => 5,
+            ProtoMsg::CasFinalizeRead { .. } => 6,
+            ProtoMsg::ReconfigQuery { .. } => 7,
+            ProtoMsg::ReconfigGet { .. } => 8,
+            ProtoMsg::ReconfigWrite { .. } => 9,
+            ProtoMsg::FinishReconfig { .. } => 10,
+        }
+    }
+
+    /// Snake-case name of this variant (see [`MSG_KIND_NAMES`]).
+    pub fn kind_name(&self) -> &'static str {
+        MSG_KIND_NAMES[self.kind_index()]
+    }
+
     /// Approximate number of bytes this request occupies on the wire: the metadata size
     /// `o_m` plus any value / codeword-symbol payload. This mirrors how the paper's cost
     /// model charges network traffic.
@@ -250,6 +290,22 @@ mod tests {
             config: Box::new(config),
         };
         assert_eq!(m.wire_size(100), 110);
+    }
+
+    #[test]
+    fn kind_names_align_with_variant_order() {
+        assert_eq!(ProtoMsg::AbdReadQuery.kind_index(), 0);
+        assert_eq!(ProtoMsg::AbdReadQuery.kind_name(), "abd_read_query");
+        assert_eq!(ProtoMsg::CasQuery.kind_name(), "cas_query");
+        let m = ProtoMsg::FinishReconfig {
+            highest_tag: Tag::INITIAL,
+            new_config: Box::new(Configuration::abd_majority(
+                vec![DcId(0), DcId(1), DcId(2)],
+                1,
+            )),
+        };
+        assert_eq!(m.kind_index(), MSG_KIND_NAMES.len() - 1);
+        assert_eq!(m.kind_name(), "finish_reconfig");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::msg::{ProtoMsg, ProtoReply, ReconfigPayload};
 use crate::server::{ControlMsg, Inbound};
 use bytes::Bytes;
+use legostore_obs::{HistogramSnapshot, MetricsSnapshot};
 use legostore_types::{
     ClientId, ConfigEpoch, Configuration, DcId, Key, ProtocolKind, QuorumSpec, StoreError, Tag,
     Value,
@@ -106,7 +107,8 @@ pub type WireResult<T> = Result<T, WireError>;
 /// Everything that travels on a transport connection, as one tagged union.
 ///
 /// Requests flow client → server, replies flow server → client, controls flow
-/// driver → server, and `Shutdown` asks the receiving server process to exit cleanly.
+/// driver → server, `Shutdown` asks the receiving server process to exit cleanly, and
+/// `StatsRequest`/`StatsReply` scrape a server's telemetry over the same connection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// A protocol request; `Inbound::from` is the reply-routing endpoint id.
@@ -121,6 +123,11 @@ pub enum Frame {
         /// synchronized across processes, so receivers restamp on arrival; the field is
         /// carried for diagnostics only.
         sent_at_ns: u64,
+        /// How long the server spent processing the request that produced this reply,
+        /// in the server's clock nanoseconds. Durations (unlike instants) are
+        /// meaningful across processes, so client-side spans subtract this from the
+        /// observed round trip to split service time from network time.
+        service_ns: u64,
         /// Echoed protocol phase.
         phase: u8,
         /// Reply body.
@@ -130,12 +137,29 @@ pub enum Frame {
     Control(ControlMsg),
     /// Asks the receiving server to shut down cleanly.
     Shutdown,
+    /// Asks the receiving server for a snapshot of its telemetry; `token` is echoed in
+    /// the [`Frame::StatsReply`] so concurrent scrapes can be demultiplexed.
+    StatsRequest {
+        /// Caller-chosen correlation token.
+        token: u64,
+    },
+    /// A server's metrics snapshot, answering a [`Frame::StatsRequest`].
+    StatsReply {
+        /// Token echoed from the request.
+        token: u64,
+        /// Data center of the answering server.
+        dc: DcId,
+        /// The frozen metrics.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 const FRAME_REQUEST: u8 = 1;
 const FRAME_REPLY: u8 = 2;
 const FRAME_CONTROL: u8 = 3;
 const FRAME_SHUTDOWN: u8 = 4;
+const FRAME_STATS_REQUEST: u8 = 5;
+const FRAME_STATS_REPLY: u8 = 6;
 
 impl Frame {
     /// Encodes the frame, including its 4-byte length prefix, into a fresh buffer.
@@ -149,11 +173,12 @@ impl Frame {
                 w.u8(FRAME_REQUEST);
                 put_inbound(&mut w, inbound);
             }
-            Frame::Reply { endpoint, from, sent_at_ns, phase, reply } => {
+            Frame::Reply { endpoint, from, sent_at_ns, service_ns, phase, reply } => {
                 w.u8(FRAME_REPLY);
                 w.u64(*endpoint);
                 w.u16(from.0);
                 w.u64(*sent_at_ns);
+                w.u64(*service_ns);
                 w.u8(*phase);
                 put_reply(&mut w, reply);
             }
@@ -162,6 +187,16 @@ impl Frame {
                 put_control(&mut w, ctrl);
             }
             Frame::Shutdown => w.u8(FRAME_SHUTDOWN),
+            Frame::StatsRequest { token } => {
+                w.u8(FRAME_STATS_REQUEST);
+                w.u64(*token);
+            }
+            Frame::StatsReply { token, dc, snapshot } => {
+                w.u8(FRAME_STATS_REPLY);
+                w.u64(*token);
+                w.u16(dc.0);
+                put_snapshot(&mut w, snapshot);
+            }
         }
         w.into_framed()
     }
@@ -177,11 +212,18 @@ impl Frame {
                 endpoint: r.u64()?,
                 from: DcId(r.u16()?),
                 sent_at_ns: r.u64()?,
+                service_ns: r.u64()?,
                 phase: r.u8()?,
                 reply: get_reply(&mut r)?,
             },
             FRAME_CONTROL => Frame::Control(get_control(&mut r)?),
             FRAME_SHUTDOWN => Frame::Shutdown,
+            FRAME_STATS_REQUEST => Frame::StatsRequest { token: r.u64()? },
+            FRAME_STATS_REPLY => Frame::StatsReply {
+                token: r.u64()?,
+                dc: DcId(r.u16()?),
+                snapshot: get_snapshot(&mut r)?,
+            },
             tag => return Err(WireError::UnknownTag { what: "Frame", tag }),
         };
         r.finish()?;
@@ -193,13 +235,20 @@ impl Frame {
     /// Returns `Ok(None)` on a clean end-of-stream (EOF at a frame boundary), which is how
     /// an orderly connection close appears to readers.
     pub fn read_from(stream: &mut impl Read) -> WireResult<Option<Frame>> {
+        Ok(Frame::read_from_counted(stream)?.map(|(frame, _)| frame))
+    }
+
+    /// Like [`Frame::read_from`], additionally returning the frame's full size on the
+    /// wire (length prefix included) — transports use it to meter bytes received
+    /// without re-encoding the frame.
+    pub fn read_from_counted(stream: &mut impl Read) -> WireResult<Option<(Frame, u64)>> {
         let mut len_buf = [0u8; 4];
         // A clean close may surface as EOF on the first header byte.
         match stream.read(&mut len_buf[..1]) {
             Ok(0) => return Ok(None),
             Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-                return Frame::read_from(stream);
+                return Frame::read_from_counted(stream);
             }
             Err(e) => return Err(WireError::Io(e)),
         }
@@ -210,7 +259,7 @@ impl Frame {
         }
         let mut payload = vec![0u8; len];
         stream.read_exact(&mut payload)?;
-        Frame::decode(Bytes::from(payload)).map(Some)
+        Frame::decode(Bytes::from(payload)).map(|f| Some((f, 4 + len as u64)))
     }
 
     /// Encodes the frame and writes it to a stream with a single `write_all`.
@@ -685,6 +734,55 @@ fn get_inbound(r: &mut Reader) -> WireResult<Inbound> {
     })
 }
 
+fn put_snapshot(w: &mut Writer, s: &MetricsSnapshot) {
+    w.u32(s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        w.str(name);
+        w.u64(*v);
+    }
+    w.u32(s.gauges.len() as u32);
+    for (name, v) in &s.gauges {
+        w.str(name);
+        w.u64(*v);
+    }
+    w.u32(s.histograms.len() as u32);
+    for (name, h) in &s.histograms {
+        w.str(name);
+        w.u64(h.count);
+        w.u64(h.sum);
+        w.u32(h.buckets.len() as u32);
+        for (idx, n) in &h.buckets {
+            w.u8(*idx);
+            w.u64(*n);
+        }
+    }
+}
+
+fn get_snapshot(r: &mut Reader) -> WireResult<MetricsSnapshot> {
+    let mut snapshot = MetricsSnapshot::default();
+    for _ in 0..r.u32()? {
+        let name = r.string()?;
+        snapshot.counters.insert(name, r.u64()?);
+    }
+    for _ in 0..r.u32()? {
+        let name = r.string()?;
+        snapshot.gauges.insert(name, r.u64()?);
+    }
+    for _ in 0..r.u32()? {
+        let name = r.string()?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let bucket_count = r.u32()? as usize;
+        let mut buckets = Vec::with_capacity(bucket_count.min(1024));
+        for _ in 0..bucket_count {
+            let idx = r.u8()?;
+            buckets.push((idx, r.u64()?));
+        }
+        snapshot.histograms.insert(name, HistogramSnapshot { count, sum, buckets });
+    }
+    Ok(snapshot)
+}
+
 fn put_control(w: &mut Writer, ctrl: &ControlMsg) {
     match ctrl {
         ControlMsg::InstallKey { key, config, tag, payload } => {
@@ -770,6 +868,7 @@ mod tests {
             endpoint: 99,
             from: DcId(6),
             sent_at_ns: 123_456_789,
+            service_ns: 42_000,
             phase: 2,
             reply: ProtoReply::Error(StoreError::QuorumUnreachable {
                 attempts: 4,
@@ -830,9 +929,29 @@ mod tests {
             endpoint: 0,
             from: DcId(0),
             sent_at_ns: 0,
+            service_ns: 0,
             phase: 0,
             reply: ProtoReply::CasShard { tag: Tag::INITIAL, shard: Some(Bytes::new()) },
         });
+    }
+
+    #[test]
+    fn stats_frames_roundtrip() {
+        roundtrip(Frame::StatsRequest { token: 0xFEED_F00D });
+        roundtrip(Frame::StatsReply {
+            token: 7,
+            dc: DcId(4),
+            snapshot: MetricsSnapshot::default(),
+        });
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("server.requests".into(), 12);
+        snapshot.counters.insert("server.replies".into(), 12);
+        snapshot.gauges.insert("server.keys".into(), 3);
+        snapshot.histograms.insert(
+            "server.dispatch_ns.phase1".into(),
+            HistogramSnapshot { count: 5, sum: 1_234, buckets: vec![(7, 3), (8, 2)] },
+        );
+        roundtrip(Frame::StatsReply { token: u64::MAX, dc: DcId(8), snapshot });
     }
 
     #[test]

@@ -15,6 +15,7 @@ use bytes::Bytes;
 use legostore_proto::msg::{ProtoMsg, ProtoReply, ReconfigPayload};
 use legostore_proto::server::{ControlMsg, Inbound};
 use legostore_proto::wire::{Frame, WireError, MAX_FRAME_BYTES};
+use legostore_obs::{HistogramSnapshot, MetricsSnapshot};
 use legostore_types::{
     ClientId, ConfigEpoch, Configuration, DcId, Key, StoreError, Tag, Value,
 };
@@ -66,9 +67,22 @@ fn reply(body: ProtoReply) -> Frame {
         endpoint: 0x8877_6655_4433_2211,
         from: DcId(5),
         sent_at_ns: 987_654_321,
+        service_ns: 55_000,
         phase: 3,
         reply: body,
     }
+}
+
+fn sample_snapshot() -> MetricsSnapshot {
+    let mut s = MetricsSnapshot::default();
+    s.counters.insert("server.requests".into(), 12);
+    s.counters.insert("server.replies".into(), 12);
+    s.gauges.insert("server.keys".into(), 3);
+    s.histograms.insert(
+        "server.dispatch_ns.phase1".into(),
+        HistogramSnapshot { count: 5, sum: 1_234, buckets: vec![(7, 3), (8, 2)] },
+    );
+    s
 }
 
 /// One frame per variant of every wire enum, with fixed field values. Order matters: the
@@ -211,11 +225,22 @@ fn catalog() -> Vec<(&'static str, Frame)> {
         ("ctl/SetFailed", Frame::Control(ControlMsg::SetFailed(true))),
         ("ctl/GarbageCollect", Frame::Control(ControlMsg::GarbageCollect(2))),
         ("shutdown", Frame::Shutdown),
+        ("stats/Request", Frame::StatsRequest { token: 0x0123_4567_89AB_CDEF }),
+        (
+            "stats/Reply/empty",
+            Frame::StatsReply { token: 1, dc: DcId(2), snapshot: MetricsSnapshot::default() },
+        ),
+        (
+            "stats/Reply/populated",
+            Frame::StatsReply { token: 2, dc: DcId(8), snapshot: sample_snapshot() },
+        ),
     ]
 }
 
 /// Golden fingerprints, index-aligned with [`catalog`]. Recorded from the first
-/// implementation of the codec; a mismatch means the wire format changed.
+/// implementation of the codec and regenerated (a deliberate wire-format break) when
+/// replies gained `service_ns` and the stats-scrape frames were added; a mismatch
+/// means the wire format changed.
 #[rustfmt::skip]
 const GOLDEN: &[u64] = &[
     0xf74c910f7cbfc6f7, // req/AbdReadQuery
@@ -232,31 +257,34 @@ const GOLDEN: &[u64] = &[
     0x3ef02130a0f04fdf, // req/ReconfigWrite/value
     0xf822cadd652110fb, // req/ReconfigWrite/shard
     0xb7063d0110ee92ea, // req/FinishReconfig
-    0x9a9c1473535881e5, // rep/AbdTagValue
-    0x9ec55d9d0bab4785, // rep/TagOnly
-    0x799a19c8cdbc1dcb, // rep/Ack
-    0x6b1bc9bda594c856, // rep/CasShard/some
-    0xb8c2689e1d1fbb45, // rep/CasShard/empty
-    0xbbeb9fec9907a78e, // rep/CasShard/none
-    0x02e0a71b49db646b, // rep/OperationFail
-    0xd5d73d0033f2a45a, // rep/Error/KeyAlreadyExists
-    0x991058de27466be7, // rep/Error/KeyNotFound
-    0xba9cedca26169505, // rep/Error/QuorumTimeout
-    0x9cce59b9ec869ae3, // rep/Error/QuorumUnreachable
-    0x69ef44af95f10d22, // rep/Error/TooManyFailures
-    0xad1f23e60b14744d, // rep/Error/StaleConfiguration
-    0xbe13dd3dd64e24b6, // rep/Error/OperationFailedByReconfig
-    0xe23982c0a76d207f, // rep/Error/InvalidConfiguration
-    0xbd830f99d50e1317, // rep/Error/DecodeFailed
-    0xaecf98ab1a6d957f, // rep/Error/NotAHost
-    0xaa515fcea048d1b8, // rep/Error/MetadataUnavailable
-    0xc6d375036697ef59, // rep/Error/Transport
-    0x0596202a5ddcf701, // rep/Error/Internal
+    0xe6f88fce4eee69db, // rep/AbdTagValue
+    0x6e5be568c1b75a6b, // rep/TagOnly
+    0xbbc97c1ce534c609, // rep/Ack
+    0x771c9ef83b75f4e0, // rep/CasShard/some
+    0x603563f55d2ada77, // rep/CasShard/empty
+    0x4b07af9d70d442f8, // rep/CasShard/none
+    0xd6df337bbcefa875, // rep/OperationFail
+    0x0c8abaacf60fcdfc, // rep/Error/KeyAlreadyExists
+    0xcfc3ae8ae9635191, // rep/Error/KeyNotFound
+    0x6749e90219467747, // rep/Error/QuorumTimeout
+    0xca04aa9f718ce325, // rep/Error/QuorumUnreachable
+    0x634e81c53d175390, // rep/Error/TooManyFailures
+    0x5e61d4402a4c4443, // rep/Error/StaleConfiguration
+    0x638a1ac0cb15bd84, // rep/Error/OperationFailedByReconfig
+    0x67de531559ff405d, // rep/Error/InvalidConfiguration
+    0x6463c7326a4ef935, // rep/Error/DecodeFailed
+    0xfec1fc7b41218ae9, // rep/Error/NotAHost
+    0x6eab64afaa9f0b3e, // rep/Error/MetadataUnavailable
+    0xf6b91ac3ce556067, // rep/Error/Transport
+    0x65d49855fcb2dd67, // rep/Error/Internal
     0xa7d92f4b2918d366, // ctl/InstallKey
     0xd62b7f6cf3295d78, // ctl/RemoveKey
     0x342d4d9f036d76d2, // ctl/SetFailed
     0x4aa78613ba8593f7, // ctl/GarbageCollect
     0xd80d68aea7dc7820, // shutdown
+    0x63f811af8e753eeb, // stats/Request
+    0x405d125d272b9f07, // stats/Reply/empty
+    0x20c02002d0444a18, // stats/Reply/populated
 ];
 
 #[test]
@@ -458,7 +486,7 @@ impl Rng {
     }
 
     fn frame(&mut self) -> Frame {
-        match self.below(4) {
+        match self.below(6) {
             0 => Frame::Request(Inbound {
                 from: self.next(),
                 msg_id: self.next(),
@@ -471,12 +499,37 @@ impl Rng {
                 endpoint: self.next(),
                 from: DcId(self.next() as u16),
                 sent_at_ns: self.next(),
+                service_ns: self.next(),
                 phase: self.next() as u8,
                 reply: self.reply(),
             },
             2 => Frame::Control(self.control()),
+            3 => Frame::StatsRequest { token: self.next() },
+            4 => Frame::StatsReply {
+                token: self.next(),
+                dc: DcId(self.next() as u16),
+                snapshot: self.snapshot(),
+            },
             _ => Frame::Shutdown,
         }
+    }
+
+    fn snapshot(&mut self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        for _ in 0..self.below(4) {
+            s.counters.insert(self.string(12), self.next());
+        }
+        for _ in 0..self.below(3) {
+            s.gauges.insert(self.string(12), self.next());
+        }
+        for _ in 0..self.below(3) {
+            let buckets = (0..self.below(5)).map(|_| ((self.next() % 64) as u8, self.next())).collect();
+            s.histograms.insert(
+                self.string(12),
+                HistogramSnapshot { count: self.next(), sum: self.next(), buckets },
+            );
+        }
+        s
     }
 }
 

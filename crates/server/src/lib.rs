@@ -18,13 +18,15 @@
 
 #![warn(missing_docs)]
 
+use legostore_obs::{Gauge, Obs, ObsConfig, ServerMetrics};
+use legostore_proto::msg::MSG_KIND_NAMES;
 use legostore_proto::server::{evict_stale_routes, DcServer, MAX_REPLY_ROUTES};
 use legostore_proto::wire::Frame;
 use legostore_types::DcId;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -33,8 +35,8 @@ use std::time::Instant;
 enum Event {
     /// A new client connection (the write half the dispatch loop replies through).
     Connected(u64, TcpStream),
-    /// One decoded frame from connection `.0`.
-    Frame(u64, Frame),
+    /// One decoded frame from connection `.0`, plus its size on the wire in bytes.
+    Frame(u64, Frame, u64),
     /// Connection `.0` reached EOF or failed; its routes are dead.
     Disconnected(u64),
 }
@@ -53,12 +55,25 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
     // (cross-process clocks are not comparable), so the epoch choice is arbitrary.
     let epoch = Instant::now();
     let stop = Arc::new(AtomicBool::new(false));
+    // A standalone server always keeps at least metric counting on: it is per-process
+    // state a remote driver can only see through a stats scrape, and the cost is a few
+    // atomic adds per request. `LEGOSTORE_TRACE=1` raises the level further.
+    let obs = Obs::new(match ObsConfig::from_env() {
+        ObsConfig::Off => ObsConfig::Metrics,
+        level => level,
+    });
+    let metrics = ServerMetrics::new(&obs, &MSG_KIND_NAMES);
+    // Dispatch-queue depth, tracked across the reader/dispatch seam: readers increment
+    // as they enqueue (and push the high-water mark), the dispatch loop decrements.
+    let queue_depth = Arc::new(AtomicU64::new(0));
     let (tx, rx) = mpsc::channel::<Event>();
     let acceptor = {
         let stop = stop.clone();
+        let depth = queue_depth.clone();
+        let depth_max = metrics.queue_depth_max.clone();
         std::thread::Builder::new()
             .name(format!("legostore-accept-{dc}"))
-            .spawn(move || accept_loop(listener, tx, stop))?
+            .spawn(move || accept_loop(listener, tx, stop, depth, depth_max))?
     };
 
     let mut server = DcServer::new(dc);
@@ -67,6 +82,9 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
     let mut routes: HashMap<u64, (u64, u64)> = HashMap::new();
     let mut stamp: u64 = 0;
     'dispatch: while let Ok(event) = rx.recv() {
+        if matches!(event, Event::Frame(..)) {
+            queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
         match event {
             Event::Connected(id, stream) => {
                 conns.insert(id, stream);
@@ -75,16 +93,33 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
                 conns.remove(&id);
                 routes.retain(|_, (conn, _)| *conn != id);
             }
-            Event::Frame(_, Frame::Shutdown) => break 'dispatch,
-            Event::Frame(_, Frame::Control(ctrl)) => server.apply_control(ctrl),
-            Event::Frame(_, Frame::Reply { .. }) => {} // clients never send replies
-            Event::Frame(id, Frame::Request(inbound)) => {
+            Event::Frame(_, Frame::Shutdown, _) => break 'dispatch,
+            Event::Frame(_, Frame::Control(ctrl), _) => server.apply_control(ctrl),
+            Event::Frame(_, Frame::Reply { .. }, _) => {} // clients never send replies
+            Event::Frame(_, Frame::StatsReply { .. }, _) => {} // likewise
+            Event::Frame(id, Frame::StatsRequest { token }, _) => {
+                // Refresh the point-in-time gauges, then answer on the connection the
+                // scrape arrived on (stats frames bypass the endpoint routing table).
+                metrics.keys.set(server.key_count() as u64);
+                metrics.storage_bytes.set(server.storage_bytes());
+                let frame = Frame::StatsReply { token, dc, snapshot: obs.snapshot() };
+                if let Some(stream) = conns.get_mut(&id) {
+                    let _ = frame.write_to(stream);
+                }
+            }
+            Event::Frame(id, Frame::Request(inbound), wire_bytes) => {
                 stamp += 1;
                 routes.insert(inbound.from, (id, stamp));
                 if routes.len() > MAX_REPLY_ROUTES {
                     evict_stale_routes(&mut routes, MAX_REPLY_ROUTES / 2);
                 }
-                for r in server.handle(inbound) {
+                metrics.bytes_in.add(wire_bytes);
+                let (msg_kind, phase) = (inbound.msg.kind_index(), inbound.phase);
+                let handled_at = Instant::now();
+                let replies = server.handle(inbound);
+                let service_ns = handled_at.elapsed().as_nanos() as u64;
+                metrics.on_request(msg_kind, phase, service_ns, replies.len() as u64);
+                for r in replies {
                     let Some(&(conn, _)) = routes.get(&r.to) else {
                         continue; // the endpoint's connection is gone
                     };
@@ -95,10 +130,14 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
                         endpoint: r.to,
                         from: dc,
                         sent_at_ns: epoch.elapsed().as_nanos() as u64,
+                        service_ns,
                         phase: r.phase,
                         reply: r.reply,
                     };
-                    if frame.write_to(stream).is_err() {
+                    // Encode once: the same buffer is written and counted.
+                    let bytes = frame.encode();
+                    metrics.bytes_out.add(bytes.len() as u64);
+                    if io::Write::write_all(stream, &bytes).is_err() {
                         conns.remove(&conn);
                         routes.retain(|_, (c, _)| *c != conn);
                     }
@@ -121,7 +160,13 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
 
 /// Accepts connections, registering each with the dispatch loop and spawning its reader.
 /// Joins every reader before returning, so [`serve`] owns the whole thread tree.
-fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    tx: mpsc::Sender<Event>,
+    stop: Arc<AtomicBool>,
+    depth: Arc<AtomicU64>,
+    depth_max: Arc<Gauge>,
+) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     let mut next_id: u64 = 1;
     for conn in listener.incoming() {
@@ -137,9 +182,11 @@ fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicB
             break; // the dispatch loop is gone
         }
         let tx = tx.clone();
+        let depth = depth.clone();
+        let depth_max = depth_max.clone();
         let handle = std::thread::Builder::new()
             .name(format!("legostore-conn-{id}"))
-            .spawn(move || read_loop(id, read_half, tx));
+            .spawn(move || read_loop(id, read_half, tx, depth, depth_max));
         match handle {
             Ok(h) => readers.push(h),
             Err(_) => break,
@@ -151,11 +198,18 @@ fn accept_loop(listener: TcpListener, tx: mpsc::Sender<Event>, stop: Arc<AtomicB
 }
 
 /// Decodes frames off one connection until EOF, error, or dispatch-loop shutdown.
-fn read_loop(id: u64, mut stream: TcpStream, tx: mpsc::Sender<Event>) {
+fn read_loop(
+    id: u64,
+    mut stream: TcpStream,
+    tx: mpsc::Sender<Event>,
+    depth: Arc<AtomicU64>,
+    depth_max: Arc<Gauge>,
+) {
     loop {
-        match Frame::read_from(&mut stream) {
-            Ok(Some(frame)) => {
-                if tx.send(Event::Frame(id, frame)).is_err() {
+        match Frame::read_from_counted(&mut stream) {
+            Ok(Some((frame, wire_bytes))) => {
+                depth_max.maximize(depth.fetch_add(1, Ordering::Relaxed) + 1);
+                if tx.send(Event::Frame(id, frame, wire_bytes)).is_err() {
                     return;
                 }
             }

@@ -3,6 +3,7 @@
 
 use legostore_core::{Cluster, ClusterOptions};
 use legostore_cloud::CloudModelBuilder;
+use legostore_obs::ObsConfig;
 use legostore_types::{Configuration, DcId, Key, Value};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader};
@@ -63,6 +64,82 @@ fn three_server_processes_serve_a_linearizable_workload() {
     assert_eq!(cluster.recorder().len(key.as_str()), 10);
 
     // Shutdown frames terminate every server process with a success exit status.
+    cluster.shutdown();
+    for mut child in children {
+        let status = child.wait().expect("wait for server process");
+        assert!(status.success(), "server process exited with {status}");
+    }
+}
+
+#[test]
+fn six_server_processes_expose_wire_scrapeable_stats() {
+    // The same `Cluster::stats()` call that scrapes an in-process deployment must work
+    // against six real server processes: a `StatsRequest` frame per DC over the data
+    // sockets, each process answering with its registry snapshot.
+    let mut children = Vec::new();
+    let mut addrs = HashMap::new();
+    for id in 0..6u16 {
+        let (child, addr) = launch(DcId(id));
+        children.push(child);
+        addrs.insert(DcId(id), addr);
+    }
+
+    let model = CloudModelBuilder::uniform(6).build();
+    let options = ClusterOptions {
+        latency_scale: 0.02,
+        op_timeout: Duration::from_millis(500),
+        controller_dc: DcId(0),
+        obs: ObsConfig::Metrics,
+        ..Default::default()
+    };
+    let cluster = Cluster::connect_tcp(model, options, &addrs).expect("connect");
+    let key = Key::from("scraped");
+    let placement = vec![DcId(0), DcId(1), DcId(2), DcId(3), DcId(4)];
+    cluster.install_key(key.clone(), Configuration::cas_default(placement.clone(), 3, 1), &Value::filler(1_024));
+    let mut client = cluster.client(DcId(0));
+    for _ in 0..4u32 {
+        client.put(&key, Value::filler(1_024)).expect("put");
+        assert_eq!(client.get(&key).expect("get").len(), 1_024);
+    }
+
+    let stats = cluster.stats().expect("scrape all six processes over the wire");
+    assert_eq!(stats.servers.len(), 6, "every process answered its StatsRequest");
+
+    // Client side of the split: per-phase histograms and the service/network division
+    // that the explicit `service_ns` reply field enables across process boundaries.
+    assert_eq!(stats.client.counter("client.put.ops"), 4);
+    for phase in 1..=3 {
+        let h = stats
+            .client
+            .histogram(&format!("client.put.phase{phase}_ns"))
+            .expect("per-phase histogram");
+        assert_eq!(h.count, 4);
+    }
+    assert!(stats.client.histogram("client.reply.service_ns").expect("service").count > 0);
+    assert!(stats.client.histogram("client.reply.network_ns").expect("network").count > 0);
+
+    // Server side: the quorum DCs report requests, byte meters and per-phase dispatch
+    // times measured inside their own processes.
+    let served: Vec<DcId> = placement
+        .iter()
+        .copied()
+        .filter(|dc| stats.servers[dc].counter("server.requests") > 0)
+        .collect();
+    assert!(served.len() >= 3, "at least a quorum served traffic: {served:?}");
+    for dc in &served {
+        let snap = &stats.servers[dc];
+        assert!(snap.counter("server.bytes_in") > 0, "{dc}");
+        assert!(snap.counter("server.bytes_out") > 0, "{dc}");
+        let dispatched: u64 = (1..=4)
+            .filter_map(|p| snap.histogram(&format!("server.dispatch_ns.phase{p}")))
+            .map(|h| h.count)
+            .sum();
+        assert_eq!(dispatched, snap.counter("server.requests"), "{dc}");
+        assert!(snap.gauge("server.keys") >= 1, "{dc}");
+    }
+    // The sixth DC is outside the placement: alive, scrapeable, idle.
+    assert_eq!(stats.servers[&DcId(5)].counter("server.requests"), 0);
+
     cluster.shutdown();
     for mut child in children {
         let status = child.wait().expect("wait for server process");

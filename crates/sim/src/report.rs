@@ -158,6 +158,39 @@ impl SimReport {
     pub fn failures(&self) -> usize {
         self.operations.iter().filter(|o| !o.ok).count()
     }
+
+    /// Exports the report into `obs`'s metrics registry under the same names the
+    /// threaded runtime publishes (`client.{get,put}.ops`, `client.{get,put}.latency_ns`,
+    /// `client.ops_failed`, `client.get.one_phase`, retry counters), so simulated and
+    /// live snapshots can be diffed with the same tooling. Model milliseconds are
+    /// converted to nanoseconds. No-op when `obs` is disabled.
+    pub fn export_metrics(&self, obs: &legostore_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        let r = obs.registry();
+        let ops = [r.counter("client.get.ops"), r.counter("client.put.ops")];
+        let latency =
+            [r.histogram("client.get.latency_ns"), r.histogram("client.put.latency_ns")];
+        let failed = r.counter("client.ops_failed");
+        let one_phase = r.counter("client.get.one_phase");
+        let widens = r.counter("client.retries.timeout_widen");
+        let reconfigs = r.counter("client.retries.reconfig");
+        for op in &self.operations {
+            let slot = usize::from(op.kind == OpKind::Put);
+            ops[slot].inc();
+            if op.ok {
+                latency[slot].record((op.latency_ms() * 1e6) as u64);
+            } else {
+                failed.inc();
+            }
+            if op.one_phase {
+                one_phase.inc();
+            }
+            widens.add(u64::from(op.timeout_retries));
+            reconfigs.add(u64::from(op.reconfig_retries));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +254,36 @@ mod tests {
         report.operations.push(failed);
         assert!((report.optimized_get_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(report.failures(), 1);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_runtime_taxonomy() {
+        let mut report = SimReport::default();
+        let mut fast = rec(OpKind::Get, 0.0, 10.0, 0);
+        fast.one_phase = true;
+        report.operations.push(fast);
+        report.operations.push(rec(OpKind::Put, 0.0, 250.0, 1));
+        let mut failed = rec(OpKind::Put, 0.0, 10.0, 0);
+        failed.ok = false;
+        failed.timeout_retries = 2;
+        report.operations.push(failed);
+
+        let obs = legostore_obs::Obs::new(legostore_obs::ObsConfig::Metrics);
+        report.export_metrics(&obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("client.get.ops"), 1);
+        assert_eq!(snap.counter("client.put.ops"), 2);
+        assert_eq!(snap.counter("client.ops_failed"), 1);
+        assert_eq!(snap.counter("client.get.one_phase"), 1);
+        assert_eq!(snap.counter("client.retries.timeout_widen"), 2);
+        let put_lat = snap.histogram("client.put.latency_ns").unwrap();
+        assert_eq!(put_lat.count, 1, "failed ops carry no latency sample");
+        assert_eq!(put_lat.sum, 250_000_000);
+
+        // Disabled obs stays empty: the export is a no-op, not a partial write.
+        let off = legostore_obs::Obs::off();
+        report.export_metrics(&off);
+        assert_eq!(off.snapshot().counter("client.get.ops"), 0);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Observability smoke: an instrumented workload on both transports, scraped stats,
+//! one JSON artifact.
+//!
+//! Runs the same small CAS workload twice — on the in-process channel transport under
+//! the virtual clock, and on the TCP loopback transport (one server thread per gcp9 DC
+//! behind a real listener) — with `ObsConfig::Metrics` enabled, then scrapes
+//! `Cluster::stats()` from each deployment. For the TCP mode that scrape travels as
+//! `StatsRequest`/`StatsReply` wire frames over the data sockets. Both results are
+//! written as one JSON document so CI's `obs-smoke` job can validate the metrics
+//! schema and archive the snapshot:
+//!
+//! ```text
+//! cargo run --release --example obs_smoke -- --out obs_snapshot.json
+//! ```
+
+use legostore::prelude::*;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// 8 PUT + 8 GET of an 8 KiB value against a CAS(5, 3) key from Tokyo, then a scrape.
+fn workload(cluster: &Cluster) -> ClusterStats {
+    let key = Key::from("obs-smoke");
+    let near = GcpLocation::Tokyo.dc();
+    let placement: Vec<DcId> =
+        cluster.model().nearest_dcs(near).into_iter().take(5).collect();
+    cluster.install_key(
+        key.clone(),
+        Configuration::cas_default(placement, 3, 1),
+        &Value::filler(8 * 1024),
+    );
+    let mut client = cluster.client(near);
+    for _ in 0..8 {
+        client.put(&key, Value::filler(8 * 1024)).expect("put");
+        client.get(&key).expect("get");
+    }
+    cluster.stats().expect("scrape stats")
+}
+
+/// Renders one deployment's scrape as `{"client": ..., "servers": {"<dc>": ...}}`.
+fn stats_json(stats: &ClusterStats) -> String {
+    let mut out = String::from("{\"client\": ");
+    out.push_str(&stats.client.to_json());
+    out.push_str(", \"servers\": {");
+    for (i, (dc, snap)) in stats.servers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{dc}\": "));
+        out.push_str(&snap.to_json());
+    }
+    out.push_str("}}");
+    out
+}
+
+fn main() {
+    let mut out_path = "OBS_SNAPSHOT.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out requires a value"),
+            other => {
+                eprintln!("unknown argument: {other}\nusage: obs_smoke [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Mode 1: in-process transport, virtual clock — the scrape rides the server queues.
+    let inproc = {
+        let cluster = Cluster::gcp9(ClusterOptions {
+            clock: Clock::virtual_time(),
+            obs: ObsConfig::Metrics,
+            ..Default::default()
+        });
+        let stats = workload(&cluster);
+        cluster.shutdown();
+        stats
+    };
+    eprintln!(
+        "inproc: {} client ops, {} server requests across {} DCs",
+        inproc.client.counter("client.put.ops") + inproc.client.counter("client.get.ops"),
+        inproc.servers.values().map(|s| s.counter("server.requests")).sum::<u64>(),
+        inproc.servers.len(),
+    );
+
+    // Mode 2: TCP loopback — per-DC server threads behind real sockets; the scrape is
+    // a StatsRequest frame per DC and each snapshot returns as a StatsReply frame.
+    let tcp = {
+        let model = CloudModel::gcp9();
+        let mut addrs: HashMap<DcId, SocketAddr> = HashMap::new();
+        let mut servers: Vec<JoinHandle<std::io::Result<()>>> = Vec::new();
+        for dc in model.dc_ids() {
+            let (addr, handle) = spawn_server_thread(dc).expect("spawn server thread");
+            addrs.insert(dc, addr);
+            servers.push(handle);
+        }
+        let cluster = Cluster::connect_tcp(
+            model,
+            ClusterOptions {
+                latency_scale: 0.01,
+                op_timeout: Duration::from_secs(5),
+                obs: ObsConfig::Metrics,
+                ..Default::default()
+            },
+            &addrs,
+        )
+        .expect("connect tcp");
+        let stats = workload(&cluster);
+        cluster.shutdown();
+        for handle in servers {
+            handle.join().expect("join server thread").expect("server exits cleanly");
+        }
+        stats
+    };
+    eprintln!(
+        "tcp-loopback: {} client ops, {} server requests across {} DCs",
+        tcp.client.counter("client.put.ops") + tcp.client.counter("client.get.ops"),
+        tcp.servers.values().map(|s| s.counter("server.requests")).sum::<u64>(),
+        tcp.servers.len(),
+    );
+
+    let doc = format!(
+        "{{\n\"inproc\": {},\n\"tcp_loopback\": {}\n}}\n",
+        stats_json(&inproc),
+        stats_json(&tcp),
+    );
+    std::fs::write(&out_path, doc).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -15,6 +15,7 @@
 //! | [`erasure`] | `legostore-erasure` | GF(2^8) Reed–Solomon codec |
 //! | [`cloud`] | `legostore-cloud` | The 9-DC GCP model (RTTs, prices) and custom topologies |
 //! | [`proto`] | `legostore-proto` | ABD / CAS / reconfiguration protocol state machines |
+//! | [`obs`] | `legostore-obs` | Telemetry: lock-light metrics, phase spans, flight recorder |
 //! | [`store`] | `legostore-core` | The runnable store: transports, clients, controller |
 //! | [`server`] | `legostore-server` | Standalone per-DC TCP server (`legostore-server` binary) |
 //! | [`optimizer`] | `legostore-optimizer` | Cost model, placement search, baselines, Kopt |
@@ -60,6 +61,7 @@ pub use legostore_cloud as cloud;
 pub use legostore_core as store;
 pub use legostore_erasure as erasure;
 pub use legostore_lincheck as lincheck;
+pub use legostore_obs as obs;
 pub use legostore_optimizer as optimizer;
 pub use legostore_proto as proto;
 pub use legostore_server as server;
@@ -70,7 +72,8 @@ pub use legostore_workload as workload;
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use legostore_cloud::{CloudModel, CloudModelBuilder, DataCenter, GcpLocation};
-    pub use legostore_core::{Clock, Cluster, ClusterOptions, StoreClient};
+    pub use legostore_core::{Clock, Cluster, ClusterOptions, ClusterStats, StoreClient};
+    pub use legostore_obs::{MetricsSnapshot, Obs, ObsConfig};
     pub use legostore_server::{find_server_binary, spawn_server_thread};
     pub use legostore_lincheck::{CheckOutcome, History, HistoryRecorder};
     pub use legostore_optimizer::{

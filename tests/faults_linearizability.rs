@@ -74,6 +74,9 @@ fn faulted_cluster(plan: FaultPlan) -> Cluster {
         max_attempts: 8,
         clock: Clock::virtual_time(),
         fault_plan: plan,
+        // Telemetry on: the suite exercises the instrumented hot path under faults, and
+        // a failed linearizability check below dumps the flight recorder's timeline.
+        obs: ObsConfig::Metrics,
         ..Default::default()
     })
 }
@@ -133,6 +136,11 @@ fn stress(cluster: &Cluster, key: &Key, config: &Configuration, ops_each: usize,
         h.join().expect("client thread");
     }
     let failures = cluster.recorder().check_all();
+    if !failures.is_empty() {
+        // A failed check comes with its timeline: the flight recorder holds the recent
+        // fault verdicts, quorum widenings and reconfiguration restarts leading up to it.
+        cluster.obs().flight().dump_to_stderr("linearizability check failed under faults");
+    }
     assert!(
         failures.is_empty(),
         "non-linearizable under faults: {failures:?}\nhistory: {:#?}",

@@ -13,8 +13,21 @@ fn virtual_cluster() -> Cluster {
         latency_scale: 0.002,
         op_timeout: Duration::from_millis(300),
         clock: Clock::virtual_time(),
+        // Metrics on: the determinism promise below extends to telemetry snapshots.
+        obs: ObsConfig::Metrics,
         ..Default::default()
     })
+}
+
+/// Serializes everything [`Cluster::stats`] returns — the client registry plus each
+/// DC's server registry — in a fixed order.
+fn stats_json(cluster: &Cluster) -> String {
+    let stats = cluster.stats().expect("scrape in-proc stats");
+    let mut out = format!("client: {}", stats.client.to_json());
+    for (dc, snap) in &stats.servers {
+        out.push_str(&format!("\n{dc}: {}", snap.to_json()));
+    }
+    out
 }
 
 /// A sequential, multi-DC, multi-protocol workload with a mid-run reconfiguration.
@@ -117,6 +130,34 @@ fn identical_virtual_runs_record_byte_identical_histories() {
     assert!(
         serialized.contains("ret"),
         "Debug form should include return timestamps: {serialized}"
+    );
+}
+
+#[test]
+fn identical_virtual_runs_produce_byte_identical_metrics_snapshots() {
+    // The telemetry layer makes the same promise as the history recorder: under a
+    // virtual clock every recorded duration is modeled time, snapshots carry no
+    // wall-clock fields, and registries serialize in name order — so two identical
+    // runs must export byte-identical metrics, histograms included.
+    let first = {
+        let cluster = virtual_cluster();
+        run_workload(&cluster);
+        let json = stats_json(&cluster);
+        cluster.shutdown();
+        json
+    };
+    let second = {
+        let cluster = virtual_cluster();
+        run_workload(&cluster);
+        let json = stats_json(&cluster);
+        cluster.shutdown();
+        json
+    };
+    assert!(first.contains("client.put.phase1_ns"), "snapshot carries phase data: {first}");
+    assert!(first.contains("server.requests"), "snapshot carries server data");
+    assert_eq!(
+        first, second,
+        "two identical virtual-time runs must export byte-identical metrics snapshots"
     );
 }
 
