@@ -3,22 +3,65 @@
 //! ```text
 //! cargo run --release -p legostore-bench --bin experiments -- all
 //! cargo run --release -p legostore-bench --bin experiments -- fig1 fig3 fig5
+//! cargo run --release -p legostore-bench --bin experiments -- all --tier nightly
 //! cargo run --release -p legostore-bench --bin experiments -- fig1 --quick
 //! ```
 //!
-//! `--quick` subsamples the workload grids so every experiment finishes in seconds; without
-//! it the full grids of the paper are evaluated.
+//! Grid depth is budgeted through the campaign tiers (see `legostore-campaign`):
+//! the default `ci` tier subsamples every workload grid so `all` finishes in
+//! seconds, and only `--tier nightly` / `--tier full` evaluate the paper's full
+//! 567-workload grids. `--quick` is shorthand for `--tier smoke`.
 
 use legostore_bench::experiments::{optimizer_studies as opt, sim_studies as sim};
+use legostore_campaign::Tier;
 
 struct Settings {
-    quick: bool,
+    tier: Tier,
+}
+
+impl Settings {
+    /// Workload-grid stride: the campaign tier's budget for the bounded tiers, the
+    /// full grid (stride 1) for the unbudgeted nightly/full tiers.
+    fn stride(&self) -> usize {
+        match self.tier {
+            Tier::Nightly | Tier::Full => 1,
+            t => t.budget().grid_stride,
+        }
+    }
+
+    /// True for the unbudgeted tiers that run the paper's experiments at full depth.
+    fn deep(&self) -> bool {
+        matches!(self.tier, Tier::Nightly | Tier::Full)
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let mut tier = Tier::Ci;
+    if args.iter().any(|a| a == "--quick") {
+        tier = Tier::Smoke;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--tier") {
+        let Some(t) = args.get(i + 1).and_then(|v| Tier::parse(v)) else {
+            eprintln!("--tier requires one of: smoke, ci, nightly, full");
+            std::process::exit(2);
+        };
+        tier = t;
+    }
+    let mut skip_next = false;
+    let mut selected: Vec<String> = args
+        .into_iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a == "--tier" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
     if selected.is_empty() || selected.iter().any(|a| a == "all") {
         selected = vec![
             "tables", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig11", "fig12",
@@ -28,7 +71,13 @@ fn main() {
         .map(String::from)
         .collect();
     }
-    let settings = Settings { quick };
+    let settings = Settings { tier };
+    println!(
+        "experiments tier={} (grid stride {}); the full 567-workload grids run only at \
+         --tier nightly|full",
+        settings.tier.label(),
+        settings.stride()
+    );
     for name in selected {
         run_experiment(&name, &settings);
     }
@@ -52,7 +101,7 @@ fn run_experiment(name: &str, s: &Settings) {
         }
         "fig1" => {
             banner("Figure 1: baseline normalized-cost CDFs, f = 1");
-            let stride = if s.quick { 24 } else { 1 };
+            let stride = s.stride();
             for slo in [1000.0, 200.0] {
                 let cdf = opt::baseline_cdf(slo, 1, stride);
                 println!("{}", cdf.render());
@@ -60,7 +109,7 @@ fn run_experiment(name: &str, s: &Settings) {
         }
         "fig12" => {
             banner("Figure 12: baseline normalized-cost CDFs, f = 2");
-            let stride = if s.quick { 24 } else { 1 };
+            let stride = s.stride();
             for slo in [1000.0, 300.0] {
                 let cdf = opt::baseline_cdf(slo, 2, stride);
                 println!("{}", cdf.render());
@@ -69,12 +118,12 @@ fn run_experiment(name: &str, s: &Settings) {
         "fig2" | "fig13" => {
             let f = if name == "fig2" { 1 } else { 2 };
             banner(&format!("Figure {}: optimizer choice vs latency SLO, f = {f}", if f == 1 { 2 } else { 13 }));
-            let slos: Vec<f64> = if s.quick {
+            let slos: Vec<f64> = if !s.deep() {
                 vec![200.0, 400.0, 700.0, 1000.0]
             } else {
                 (1..=20).map(|i| 50.0 * i as f64).collect()
             };
-            let dists = if s.quick {
+            let dists = if !s.deep() {
                 vec![
                     legostore_workload::ClientDistribution::Tokyo,
                     legostore_workload::ClientDistribution::SydneyTokyo,
@@ -88,7 +137,7 @@ fn run_experiment(name: &str, s: &Settings) {
         }
         "fig3" => {
             banner("Figure 3: cost vs K and Kopt trends");
-            let study = opt::kopt_study(if s.quick { 5 } else { 7 });
+            let study = opt::kopt_study(if s.deep() { 7 } else { 5 });
             println!("{}", study.render());
         }
         "kopt" => {
@@ -99,7 +148,7 @@ fn run_experiment(name: &str, s: &Settings) {
         }
         "fig4" => {
             banner("Figure 4: latency robustness under concurrent access");
-            let duration = if s.quick { 10_000.0 } else { 60_000.0 };
+            let duration = if s.deep() { 60_000.0 } else { 10_000.0 };
             for (label, rho) in [("RW (50% reads)", 0.5), ("HW (3.2% reads)", 1.0 / 31.0)] {
                 println!("-- {label}");
                 let rates = [20.0, 40.0, 60.0, 80.0, 100.0];
@@ -109,21 +158,21 @@ fn run_experiment(name: &str, s: &Settings) {
         }
         "fig5" => {
             banner("Figure 5: reconfiguration under load change and DC failure");
-            let scale = if s.quick { 0.05 } else { 0.25 };
+            let scale = if s.deep() { 0.25 } else { 0.05 };
             let result = sim::reconfiguration_scenario(
-                if s.quick { 5 } else { 20 },
+                if s.deep() { 20 } else { 5 },
                 200_000.0 * scale,
                 360_000.0 * scale,
                 400_000.0 * scale,
                 500_000.0 * scale,
-                if s.quick { 40.0 } else { 100.0 },
+                if s.deep() { 100.0 } else { 40.0 },
                 7,
             );
             println!("{}", result.render());
         }
         "fig6" => {
             banner("Figure 6: Wikipedia hot key reconfiguration");
-            let result = sim::wikipedia_key_scenario(if s.quick { 20_000.0 } else { 600_000.0 }, 13);
+            let result = sim::wikipedia_key_scenario(if s.deep() { 600_000.0 } else { 20_000.0 }, 13);
             println!("{}", result.render());
             if let Some((t1, t2)) = opt::wikipedia_hot_key_choices() {
                 println!(
@@ -137,7 +186,7 @@ fn run_experiment(name: &str, s: &Settings) {
         }
         "fig11" => {
             banner("Figure 11: predicted vs measured latency (and under LA failure)");
-            let duration = if s.quick { 10_000.0 } else { 60_000.0 };
+            let duration = if s.deep() { 60_000.0 } else { 10_000.0 };
             let rows = sim::model_validation(duration, 50.0, 3);
             println!("{}", sim::render_model_validation(&rows));
         }
@@ -148,7 +197,7 @@ fn run_experiment(name: &str, s: &Settings) {
         }
         "fig15" => {
             banner("Figure 15: Wikipedia-derived keys, baseline normalized-cost CDF");
-            let keys = if s.quick { 100 } else { 1550 };
+            let keys = if s.deep() { 1550 } else { 100 };
             let cdf = opt::wikipedia_cdf(keys);
             println!("{}", cdf.render());
         }

@@ -1,0 +1,36 @@
+//! Campaign engine: massive seeded scenario sweeps over the simulator.
+//!
+//! The paper's evaluation is a grid study; this crate turns the repo's simulator,
+//! workload grid, fault plans and live-monitor machinery into a repeatable evidence
+//! pipeline. A campaign is a declarative [`SweepSpec`] — (workload grid slice ×
+//! fault-plan seed range × protocol × placement × scenario family) under a budget
+//! [`Tier`] — expanded into seeded cells, fanned across a bounded thread pool on
+//! virtual time, and reduced by a streaming [`Aggregator`] into deterministic CSV /
+//! JSON reports with regression-friendly fingerprints.
+//!
+//! ```
+//! use legostore_campaign::{run_campaign, Aggregator, SweepSpec, Tier};
+//!
+//! let spec = SweepSpec::for_tier(Tier::Smoke);
+//! let mut agg = Aggregator::new(spec.tier.label());
+//! for outcome in run_campaign(&spec, 0) {
+//!     agg.ingest(outcome);
+//! }
+//! let report = agg.finish();
+//! assert!(report.rows.len() >= 20);
+//! ```
+//!
+//! The `legostore-campaign` binary wraps exactly this loop behind
+//! `--tier smoke|ci|nightly|full`.
+
+pub mod aggregate;
+pub mod outcome;
+pub mod runner;
+pub mod spec;
+
+pub use aggregate::{Aggregator, CampaignReport, GroupSummary, REPORT_SCHEMA_VERSION};
+pub use outcome::{outcome_from_report, ExpectedProperty, RunOutcome};
+pub use runner::{run_campaign, run_cell};
+pub use spec::{
+    scenario_workload, CellSpec, PlacementChoice, ScenarioFamily, SweepSpec, Tier, TierBudget,
+};

@@ -1,0 +1,54 @@
+//! End-to-end scenario-family checks on real simulations.
+//!
+//! The headline case is the seeded ABD↔CAS flip: the optimizer must answer ABD for
+//! the spread-out epoch-1 mix, the PR 8 live-monitor path must detect the drift to
+//! Tokyo-only read-heavy traffic, and the resulting re-plan must actually reconfigure
+//! every key to CAS mid-run — proven by the run's own reconfiguration count.
+
+use legostore_campaign::runner::run_cell;
+use legostore_campaign::{ScenarioFamily, SweepSpec, Tier};
+use legostore_types::ProtocolKind;
+
+fn smoke_cell(family: ScenarioFamily, protocol: ProtocolKind) -> legostore_campaign::CellSpec {
+    SweepSpec::for_tier(Tier::Smoke)
+        .cells()
+        .into_iter()
+        .find(|c| c.family == family && c.protocol == protocol)
+        .expect("smoke tier covers every family")
+}
+
+#[test]
+fn seeded_flip_cell_reconfigures_abd_to_cas_via_the_live_monitor() {
+    let cell = smoke_cell(ScenarioFamily::ProtocolFlip, ProtocolKind::Abd);
+    let out = run_cell(&cell);
+    assert_eq!(
+        out.protocol, "abd->cas",
+        "epoch 1 must plan ABD and the monitor-driven re-plan must answer CAS \
+         (violations: {:?})",
+        out.violations
+    );
+    assert!(out.reconfigs >= 1, "the flip must complete at least one reconfiguration");
+    assert!(out.passed(), "flip cell failed: {:?}", out.violations);
+    assert_eq!(out.linearizable, Some(true), "the flip run must stay linearizable");
+}
+
+#[test]
+fn region_outage_cell_shows_stress_and_recovers() {
+    let cell = smoke_cell(ScenarioFamily::RegionOutage, ProtocolKind::Abd);
+    let out = run_cell(&cell);
+    assert!(out.passed(), "outage cell failed: {:?}", out.violations);
+    assert!(
+        out.timeout_widens >= 1,
+        "a region outage with clients in every DC must force timeout widens"
+    );
+    assert!(out.availability >= 0.5);
+}
+
+#[test]
+fn flash_crowd_cell_survives_the_surge() {
+    let cell = smoke_cell(ScenarioFamily::FlashCrowd, ProtocolKind::Cas);
+    let out = run_cell(&cell);
+    assert!(out.passed(), "flash crowd cell failed: {:?}", out.violations);
+    assert_eq!(out.failures, 0, "a fault-free surge must not fail operations");
+    assert_eq!(out.linearizable, Some(true));
+}

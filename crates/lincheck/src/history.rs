@@ -118,14 +118,30 @@ impl History {
     /// visited `(linearized-set, register-value)` states, which keeps it fast on the
     /// register histories LEGOStore produces.
     pub fn check(&self) -> CheckOutcome {
+        self.check_within(u64::MAX)
+            .expect("an unbounded search cannot exhaust its budget")
+    }
+
+    /// Budgeted variant of [`History::check`]: gives up after `max_steps` search steps.
+    ///
+    /// Returns `None` when the budget runs out before the search decides — the history is
+    /// then *undecided*, not passed and not failed. Linearizing one operation costs one
+    /// step, so any history the search decides without backtracking (the overwhelmingly
+    /// common case) finishes within `2 × len` steps; a budget in the millions only trips
+    /// on genuinely adversarial interleavings, e.g. hundreds of concurrent writes on one
+    /// register, where the DFS would otherwise run for minutes. Callers that sweep many
+    /// histories (the campaign engine) use this to bound worst-case wall time
+    /// deterministically: the step count is a pure function of the history, so the same
+    /// input always decides — or gives up — identically.
+    pub fn check_within(&self, max_steps: u64) -> Option<CheckOutcome> {
         for (i, op) in self.operations.iter().enumerate() {
             if op.ret < op.invoke {
-                return CheckOutcome::Malformed { index: i };
+                return Some(CheckOutcome::Malformed { index: i });
             }
         }
         let n = self.operations.len();
         if n == 0 {
-            return CheckOutcome::Linearizable { order: vec![] };
+            return Some(CheckOutcome::Linearizable { order: vec![] });
         }
         // Sort by invocation time; the witness order refers to indices in this sorted list.
         let mut ops: Vec<Operation> = self.operations.clone();
@@ -156,9 +172,14 @@ impl History {
             next: 0,
         }];
 
+        let mut steps: u64 = 0;
         while let Some(frame_idx) = stack.len().checked_sub(1) {
+            steps += 1;
+            if steps > max_steps {
+                return None;
+            }
             if order.len() == n {
-                return CheckOutcome::Linearizable { order };
+                return Some(CheckOutcome::Linearizable { order });
             }
             let value = stack[frame_idx].value;
             let start = stack[frame_idx].next;
@@ -170,34 +191,62 @@ impl History {
                     min_ret = min_ret.min(op.ret);
                 }
             }
-            let mut advanced = false;
             let mut candidate = None;
-            for (i, op) in ops.iter().enumerate().skip(start) {
-                if is_set(&linearized, i) {
-                    continue;
+            let mut forced = false;
+            if start == 0 {
+                // A candidate read of the current register value can always be
+                // linearized *now* without discarding any witness: candidacy already
+                // guarantees every pending operation's response is at or after its
+                // invocation (so moving it to the front of any extension respects real
+                // time), and a read leaves the register untouched. Committing to it as
+                // a forced move — no resume point, the frame fails outright if the
+                // branch fails — keeps the search linear on read-heavy histories
+                // instead of backtracking over every subset of concurrent same-value
+                // reads.
+                for (i, op) in ops.iter().enumerate() {
+                    if is_set(&linearized, i) {
+                        continue;
+                    }
+                    if op.invoke > min_ret {
+                        break;
+                    }
+                    if op.kind == (OperationKind::Read { value }) {
+                        candidate = Some((i, value));
+                        forced = true;
+                        break;
+                    }
                 }
-                if op.invoke > min_ret {
-                    // ops is sorted by invocation; nothing later can be a candidate either.
+            }
+            if candidate.is_none() {
+                for (i, op) in ops.iter().enumerate().skip(start) {
+                    if is_set(&linearized, i) {
+                        continue;
+                    }
+                    if op.invoke > min_ret {
+                        // ops is sorted by invocation; nothing later can be a candidate
+                        // either.
+                        break;
+                    }
+                    // Check register semantics.
+                    let new_value = match op.kind {
+                        OperationKind::Read { value: read_v } => {
+                            if read_v != value {
+                                continue;
+                            }
+                            value
+                        }
+                        OperationKind::Write { value: write_v } => write_v,
+                    };
+                    candidate = Some((i, new_value));
                     break;
                 }
-                // Check register semantics.
-                let new_value = match op.kind {
-                    OperationKind::Read { value: read_v } => {
-                        if read_v != value {
-                            continue;
-                        }
-                        value
-                    }
-                    OperationKind::Write { value: write_v } => write_v,
-                };
-                candidate = Some((i, new_value));
-                advanced = true;
-                break;
             }
             match candidate {
                 Some((i, new_value)) => {
-                    // Record where to resume in this frame if the branch fails.
-                    stack[frame_idx].next = i + 1;
+                    // Record where to resume in this frame if the branch fails; a
+                    // forced move has no alternatives, so its frame resumes past the
+                    // end and fails immediately.
+                    stack[frame_idx].next = if forced { n } else { i + 1 };
                     set(&mut linearized, i);
                     order.push(i);
                     if memo.contains(&(linearized.clone(), new_value)) {
@@ -212,22 +261,21 @@ impl History {
                     });
                 }
                 None => {
-                    let _ = advanced;
                     // Dead end: remember the state we are abandoning, then backtrack.
                     memo.insert((linearized.clone(), value));
                     stack.pop();
                     if let Some(last) = order.pop() {
                         clear(&mut linearized, last);
                     } else if stack.is_empty() {
-                        return CheckOutcome::NotLinearizable;
+                        return Some(CheckOutcome::NotLinearizable);
                     }
                 }
             }
         }
         if order.len() == n {
-            CheckOutcome::Linearizable { order }
+            Some(CheckOutcome::Linearizable { order })
         } else {
-            CheckOutcome::NotLinearizable
+            Some(CheckOutcome::NotLinearizable)
         }
     }
 }
@@ -369,6 +417,20 @@ mod tests {
             h.push(Operation::read(100 + c, 103, 200, 201));
         }
         assert!(h.check().is_ok());
+    }
+
+    #[test]
+    fn exhausted_budget_reports_undecided_not_a_verdict() {
+        // A decidable history under a one-step budget must come back None — never a
+        // (wrong) verdict in either direction.
+        let mut h = History::new(0);
+        for c in 0..8u32 {
+            h.push(Operation::write(c, 100 + c as u64, 0, 100));
+        }
+        h.push(Operation::read(9, 103, 200, 201));
+        assert_eq!(h.check_within(1), None);
+        // With room to finish, the budgeted and unbounded answers agree.
+        assert_eq!(h.check_within(1_000_000), Some(h.check()));
     }
 
     #[test]

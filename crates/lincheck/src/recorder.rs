@@ -87,16 +87,31 @@ impl HistoryRecorder {
 
     /// Checks every recorded key and returns the keys that failed (empty ⇒ all linearizable).
     pub fn check_all(&self) -> Vec<(String, CheckOutcome)> {
+        self.check_all_within(u64::MAX).0
+    }
+
+    /// Like [`HistoryRecorder::check_all`], but each key's search gets a step budget
+    /// (see [`History::check_within`]). Returns `(failures, undecided)`: keys whose
+    /// search exhausted the budget land in `undecided` — neither passed nor failed —
+    /// instead of stalling the whole sweep on one adversarial interleaving. Both lists
+    /// are sorted, so the result is deterministic regardless of map iteration order.
+    pub fn check_all_within(
+        &self,
+        max_steps_per_key: u64,
+    ) -> (Vec<(String, CheckOutcome)>, Vec<String>) {
         let map = self.inner.lock().unwrap();
         let mut failures = Vec::new();
+        let mut undecided = Vec::new();
         for (key, history) in map.iter() {
-            let outcome = history.check();
-            if !outcome.is_ok() {
-                failures.push((key.clone(), outcome));
+            match history.check_within(max_steps_per_key) {
+                None => undecided.push(key.clone()),
+                Some(outcome) if !outcome.is_ok() => failures.push((key.clone(), outcome)),
+                Some(_) => {}
             }
         }
         failures.sort_by(|a, b| a.0.cmp(&b.0));
-        failures
+        undecided.sort();
+        (failures, undecided)
     }
 }
 
@@ -137,6 +152,26 @@ mod tests {
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].0, "bad");
         assert!(!failures[0].1.is_ok());
+    }
+
+    #[test]
+    fn budgeted_check_separates_undecided_from_failed() {
+        let rec = HistoryRecorder::new();
+        // "wide": eight concurrent writes force the search to actually branch.
+        for c in 0..8u32 {
+            rec.record_put("wide", c, 100 + u64::from(c), 0, 100);
+        }
+        rec.record_get("wide", 9, 103, 200, 201);
+        // "bad": a stale read that any budget large enough to run at all will catch.
+        rec.record_put("bad", 1, 1, 0, 1);
+        rec.record_get("bad", 2, 0, 5, 6);
+        let (failures, undecided) = rec.check_all_within(1);
+        assert_eq!(undecided, vec!["bad".to_string(), "wide".to_string()]);
+        assert!(failures.is_empty());
+        let (failures, undecided) = rec.check_all_within(1_000_000);
+        assert!(undecided.is_empty());
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "bad");
     }
 
     #[test]

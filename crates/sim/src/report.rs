@@ -25,6 +25,8 @@ pub struct OpRecord {
     pub reconfig_retries: u32,
     /// Number of times the operation was restarted after a timeout (e.g. a failed DC).
     pub timeout_retries: u32,
+    /// Object bytes carried (PUT payload / GET response size as requested).
+    pub object_bytes: u64,
 }
 
 impl OpRecord {
@@ -159,6 +161,78 @@ impl SimReport {
         self.operations.iter().filter(|o| !o.ok).count()
     }
 
+    /// Fraction of operations that succeeded (1.0 for an empty report: an idle run
+    /// failed nothing).
+    pub fn availability(&self) -> f64 {
+        if self.operations.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.failures() as f64 / self.operations.len() as f64
+    }
+
+    /// Number of failed operations that *started* after `after_ms` — the campaign
+    /// engine's "liveness returns after the faults heal" check.
+    pub fn failures_after(&self, after_ms: f64) -> usize {
+        self.operations
+            .iter()
+            .filter(|o| !o.ok && o.start_ms >= after_ms)
+            .count()
+    }
+
+    /// A deterministic FNV-1a digest of the report's observable outcome — every
+    /// operation record (latency quantized to nanoseconds), the cost meter and the
+    /// reconfiguration durations. Two runs of the same seeded simulation produce the
+    /// same fingerprint; campaign reports use it as a regression-friendly identity
+    /// for a run without storing the run.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for op in &self.operations {
+            eat(op.key.as_bytes());
+            eat(&[op.kind as u8, u8::from(op.ok), u8::from(op.one_phase)]);
+            eat(&op.origin.0.to_le_bytes());
+            eat(&((op.start_ms * 1e6) as u64).to_le_bytes());
+            eat(&((op.end_ms * 1e6) as u64).to_le_bytes());
+            eat(&op.reconfig_retries.to_le_bytes());
+            eat(&op.timeout_retries.to_le_bytes());
+            eat(&op.object_bytes.to_le_bytes());
+        }
+        eat(&self.cost.bytes_moved.to_le_bytes());
+        eat(&self.cost.total().to_bits().to_le_bytes());
+        for d in &self.reconfig_durations_ms {
+            eat(&d.to_bits().to_le_bytes());
+        }
+        h
+    }
+
+    /// Pushes every operation into `obs`'s op-record stream — the same stream the
+    /// threaded runtime's spans feed — so `Obs::drain_ops` →
+    /// `WorkloadMonitor::ingest` works identically on simulated traffic (the campaign
+    /// engine's live-monitor path for scenario runs). Model milliseconds are converted
+    /// to clock nanoseconds (`latency_scale` 1.0). No-op when `obs` is disabled.
+    pub fn export_ops(&self, obs: &legostore_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        for op in &self.operations {
+            obs.push_op(legostore_obs::OpRecord {
+                op_id: obs.next_op_id(),
+                kind: op.kind,
+                key: op.key.clone(),
+                origin: op.origin,
+                started_ns: (op.start_ms * 1e6) as u64,
+                completed_ns: (op.end_ms * 1e6) as u64,
+                object_bytes: op.object_bytes,
+                ok: op.ok,
+            });
+        }
+    }
+
     /// Exports the report into `obs`'s metrics registry under the same names the
     /// threaded runtime publishes (`client.{get,put}.ops`, `client.{get,put}.latency_ns`,
     /// `client.ops_failed`, `client.get.one_phase`, retry counters), so simulated and
@@ -208,6 +282,7 @@ mod tests {
             one_phase: false,
             reconfig_retries: 0,
             timeout_retries: 0,
+            object_bytes: 1024,
         }
     }
 
@@ -284,6 +359,51 @@ mod tests {
         let off = legostore_obs::Obs::off();
         report.export_metrics(&off);
         assert_eq!(off.snapshot().counter("client.get.ops"), 0);
+    }
+
+    #[test]
+    fn availability_and_post_fault_failures() {
+        let mut report = SimReport::default();
+        assert_eq!(report.availability(), 1.0);
+        report.operations.push(rec(OpKind::Get, 0.0, 10.0, 0));
+        let mut failed = rec(OpKind::Put, 100.0, 400.0, 0);
+        failed.ok = false;
+        report.operations.push(failed);
+        assert!((report.availability() - 0.5).abs() < 1e-12);
+        assert_eq!(report.failures_after(50.0), 1);
+        assert_eq!(report.failures_after(150.0), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_sensitive() {
+        let mut a = SimReport::default();
+        a.operations.push(rec(OpKind::Get, 0.0, 10.0, 0));
+        let mut b = SimReport::default();
+        b.operations.push(rec(OpKind::Get, 0.0, 10.0, 0));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.operations[0].end_ms = 11.0;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn export_ops_feeds_the_monitor_stream() {
+        let mut report = SimReport::default();
+        report.operations.push(rec(OpKind::Get, 0.0, 10.0, 2));
+        let mut failed = rec(OpKind::Put, 5.0, 20.0, 3);
+        failed.ok = false;
+        report.operations.push(failed);
+        let obs = legostore_obs::Obs::new(legostore_obs::ObsConfig::Metrics);
+        report.export_ops(&obs);
+        let drained = obs.drain_ops();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].origin, DcId(2));
+        assert_eq!(drained[0].latency_ns(), 10_000_000);
+        assert!(!drained[1].ok);
+        assert_eq!(drained[1].object_bytes, 1024);
+        // Disabled obs: nothing exported.
+        let off = legostore_obs::Obs::off();
+        report.export_ops(&off);
+        assert!(off.drain_ops().is_empty());
     }
 
     #[test]

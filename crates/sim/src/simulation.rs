@@ -108,6 +108,7 @@ struct PendingOp {
     key: Key,
     start_ms: f64,
     value: Option<Value>,
+    object_bytes: u64,
     config: Configuration,
     reconfig_retries: u32,
     timeout_retries: u32,
@@ -572,6 +573,7 @@ impl Simulation {
                 one_phase: false,
                 reconfig_retries: 0,
                 timeout_retries: 0,
+                object_bytes: value_size,
             });
             return;
         };
@@ -599,6 +601,7 @@ impl Simulation {
             key,
             start_ms: self.now_ms(),
             value,
+            object_bytes: value_size,
             config,
             reconfig_retries: 0,
             timeout_retries: 0,
@@ -642,6 +645,7 @@ impl Simulation {
             one_phase,
             reconfig_retries: op.reconfig_retries,
             timeout_retries: op.timeout_retries,
+            object_bytes: op.object_bytes,
         });
     }
 

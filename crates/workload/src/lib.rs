@@ -15,16 +15,23 @@
 //!   features (read-mostly, Zipf-skewed popularity, two epochs with different client mixes);
 //! * [`fault`] — seed-driven generation of adversarial fault schedules
 //!   (`legostore_types::fault::FaultPlan`) bounded by a configuration's tolerance `f`,
-//!   feeding the linearizability-under-faults stress suites.
+//!   feeding the linearizability-under-faults stress suites;
+//! * [`scenario`] — seeded non-stationary schedules (diurnal swings, flash crowds) and
+//!   correlated-region outage plans, the raw material of the campaign engine's
+//!   scenario families.
 
 pub mod fault;
 pub mod grid;
+pub mod scenario;
 pub mod spec;
 pub mod trace;
 pub mod wikipedia;
 
 pub use fault::{generate_fault_plan, FaultMenu, FaultPlanSpec};
 pub use grid::{basic_workloads, client_distribution, ClientDistribution};
+pub use scenario::{
+    correlated_outage_plan, diurnal_schedule, flash_crowd_schedule, pick_outage_region, Region,
+};
 pub use spec::{ReadRatio, WorkloadSpec};
 pub use trace::{Request, TraceGenerator};
 pub use wikipedia::{synthesize_wikipedia, WikipediaEpoch, WikipediaKey};

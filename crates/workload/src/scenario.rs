@@ -1,0 +1,360 @@
+//! Seeded scenario generators: workload *shapes* the paper only gestures at.
+//!
+//! The evaluation's basic grid (§4.1) is stationary — a flat Poisson rate, a fixed
+//! client mix — but the reconfiguration story (Figure 5, §3.4) is about workloads that
+//! *change*. This module turns a stationary [`WorkloadSpec`] into non-stationary
+//! schedules by deterministic, count-conserving transforms of its Poisson trace:
+//!
+//! * [`diurnal_schedule`] — a day/night load swing: arrivals follow a sinusoidal
+//!   intensity, so the same requests bunch into peaks and thin out in troughs;
+//! * [`flash_crowd_schedule`] — a surge window during which arrivals concentrate and
+//!   re-originate at one data center (the "everyone piles onto one region" event);
+//! * [`correlated_outage_plan`] — a whole geographic [`Region`] failing at once
+//!   (crash + restart for every DC in the region), the correlated-failure case a
+//!   single-DC fault plan never produces.
+//!
+//! Both schedule transforms are monotone time-warps of the base trace, so they conserve
+//! the total request count *exactly* (the property the campaign proptests pin): a
+//! warped trace has the same requests, the same GET/PUT mix and the same per-request
+//! object sizes — only the arrival instants (and, for the flash crowd, the origins
+//! inside the window) change. Determinism: everything derives from the spec, the seed
+//! and closed-form math; the same inputs yield byte-identical schedules.
+
+use crate::spec::WorkloadSpec;
+use crate::trace::{Request, TraceGenerator};
+use legostore_cloud::GcpLocation;
+use legostore_types::{DcId, FaultEvent, FaultKind, FaultPlan};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A geographic grouping of the gcp9 data centers, used for correlated outages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Tokyo, Sydney, Singapore.
+    AsiaPacific,
+    /// Frankfurt, London.
+    Europe,
+    /// Virginia, São Paulo.
+    AmericasEast,
+    /// Los Angeles, Oregon.
+    AmericasWest,
+}
+
+impl Region {
+    /// All four regions in a fixed order.
+    pub const ALL: [Region; 4] = [
+        Region::AsiaPacific,
+        Region::Europe,
+        Region::AmericasEast,
+        Region::AmericasWest,
+    ];
+
+    /// The data centers belonging to this region.
+    pub fn dcs(self) -> Vec<DcId> {
+        let loc = |l: GcpLocation| l.dc();
+        match self {
+            Region::AsiaPacific => vec![
+                loc(GcpLocation::Tokyo),
+                loc(GcpLocation::Sydney),
+                loc(GcpLocation::Singapore),
+            ],
+            Region::Europe => vec![loc(GcpLocation::Frankfurt), loc(GcpLocation::London)],
+            Region::AmericasEast => vec![loc(GcpLocation::Virginia), loc(GcpLocation::SaoPaulo)],
+            Region::AmericasWest => vec![loc(GcpLocation::LosAngeles), loc(GcpLocation::Oregon)],
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::AsiaPacific => "apac",
+            Region::Europe => "europe",
+            Region::AmericasEast => "americas-east",
+            Region::AmericasWest => "americas-west",
+        }
+    }
+}
+
+/// Normalized sinusoidal intensity profile: `Λ(u) = u − a/(2πc)·cos(2πcu − π/2)` for
+/// `u ∈ [0,1]`, the cumulative of `λ(u) = 1 + a·sin(2πcu − π/2)`. With integer cycle
+/// count `c` this maps `[0,1]` onto `[0,1]` monotonically (the schedule starts and ends
+/// in a trough), so warping through its inverse conserves order and count.
+fn diurnal_cumulative(u: f64, swing: f64, cycles: f64) -> f64 {
+    let w = 2.0 * std::f64::consts::PI * cycles;
+    u - (swing / w) * (w * u - std::f64::consts::FRAC_PI_2).cos()
+}
+
+/// Inverts a monotone cumulative on `[0,1]` by bisection (deterministic, no
+/// floating-point environment dependence beyond IEEE arithmetic).
+fn invert_monotone(target: f64, f: impl Fn(f64) -> f64) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..52 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// A diurnal (day/night) load schedule: the spec's Poisson trace, time-warped so the
+/// instantaneous arrival rate follows `1 + swing·sin(·)` with `cycles` full periods
+/// over `duration_ms`. `swing ∈ [0, 1)` is the relative peak amplitude (0 = flat,
+/// 0.8 = peaks at 1.8× and troughs at 0.2× the mean rate). The warp is monotone, so
+/// the output has exactly the requests of the flat trace — same count, kinds, origins,
+/// sizes — in the same order, only redistributed in time.
+pub fn diurnal_schedule(
+    spec: &WorkloadSpec,
+    num_keys: usize,
+    seed: u64,
+    duration_ms: f64,
+    cycles: u32,
+    swing: f64,
+) -> Vec<Request> {
+    assert!((0.0..1.0).contains(&swing), "swing must be in [0,1)");
+    assert!(cycles >= 1, "need at least one cycle");
+    let mut base = TraceGenerator::new(spec.clone(), num_keys, seed).generate(duration_ms);
+    let cycles = cycles as f64;
+    for r in &mut base {
+        let s = (r.time_ms / duration_ms).clamp(0.0, 1.0);
+        let u = invert_monotone(s, |u| diurnal_cumulative(u, swing, cycles));
+        r.time_ms = u * duration_ms;
+    }
+    base
+}
+
+/// A flash-crowd schedule: during the window `[window_start_ms, window_end_ms)` the
+/// arrival rate surges so that `surge_mass` of *all* requests land inside the window
+/// (piecewise-linear time-warp, count-conserving), and each request inside the window
+/// is re-originated at `target` with probability `crowd_frac` (seeded coin flips).
+/// Models one DC suddenly receiving the world's traffic — the situation that makes a
+/// placement optimized for the old mix wrong.
+#[allow(clippy::too_many_arguments)]
+pub fn flash_crowd_schedule(
+    spec: &WorkloadSpec,
+    num_keys: usize,
+    seed: u64,
+    duration_ms: f64,
+    target: DcId,
+    window_start_ms: f64,
+    window_end_ms: f64,
+    surge_mass: f64,
+    crowd_frac: f64,
+) -> Vec<Request> {
+    assert!(
+        0.0 <= window_start_ms && window_start_ms < window_end_ms && window_end_ms <= duration_ms,
+        "window must lie inside the schedule"
+    );
+    assert!((0.0..=1.0).contains(&surge_mass));
+    assert!((0.0..=1.0).contains(&crowd_frac));
+    let (w0, w1) = (window_start_ms / duration_ms, window_end_ms / duration_ms);
+    let window_len = w1 - w0;
+    let outside_len = 1.0 - window_len;
+    // Piecewise-linear cumulative: mass `surge_mass` inside the window, the rest spread
+    // uniformly outside. Degenerate splits (everything inside/outside) stay monotone
+    // because the warp inverts the cumulative only at interior points.
+    let outside_rate = if outside_len > 0.0 { (1.0 - surge_mass) / outside_len } else { 0.0 };
+    let inside_rate = if window_len > 0.0 { surge_mass / window_len } else { 0.0 };
+    let cumulative = |u: f64| -> f64 {
+        if u <= w0 {
+            u * outside_rate
+        } else if u <= w1 {
+            w0 * outside_rate + (u - w0) * inside_rate
+        } else {
+            w0 * outside_rate + window_len * inside_rate + (u - w1) * outside_rate
+        }
+    };
+    let mut base = TraceGenerator::new(spec.clone(), num_keys, seed).generate(duration_ms);
+    // A distinct stream for the re-origin coin flips, so the base trace stays the same
+    // trace the flat schedule would have produced.
+    let mut crowd_rng = StdRng::seed_from_u64(seed ^ 0x666c_6173_685f_6372); // "flash_cr"
+    for r in &mut base {
+        let s = (r.time_ms / duration_ms).clamp(0.0, 1.0);
+        let u = invert_monotone(s, cumulative);
+        r.time_ms = u * duration_ms;
+        let in_window = (w0..w1).contains(&u);
+        if in_window && crowd_rng.gen::<f64>() < crowd_frac {
+            r.origin = target;
+        }
+    }
+    base.sort_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap());
+    base
+}
+
+/// A correlated-region outage: every DC of `region` crashes at `start_ms` and restarts
+/// at `end_ms` — the failure mode independent single-DC windows never produce. Returns
+/// `None` when the outage would exceed the placement's tolerance (more than `f`
+/// placement members live in the region); LEGOStore only promises liveness within `f`,
+/// so a within-tolerance campaign cell must pick a different region.
+pub fn correlated_outage_plan(
+    region: Region,
+    placement: &[DcId],
+    f: usize,
+    start_ms: f64,
+    end_ms: f64,
+    seed: u64,
+) -> Option<FaultPlan> {
+    assert!(start_ms < end_ms);
+    let dcs = region.dcs();
+    let in_placement = dcs.iter().filter(|d| placement.contains(d)).count();
+    if in_placement > f {
+        return None;
+    }
+    let mut events = Vec::with_capacity(dcs.len() * 2);
+    for dc in &dcs {
+        events.push(FaultEvent { at_ms: start_ms, kind: FaultKind::CrashDc { dc: *dc } });
+        events.push(FaultEvent { at_ms: end_ms, kind: FaultKind::RestartDc { dc: *dc } });
+    }
+    Some(FaultPlan { seed, events }.sorted())
+}
+
+/// Deterministically picks a region whose outage `placement` (with tolerance `f`) can
+/// ride out, rotating by `seed` so different campaign cells exercise different regions.
+/// Returns `None` only if *every* region overlaps the placement in more than `f` DCs
+/// (impossible for the paper's placements, which spread across ≥ 3 regions).
+pub fn pick_outage_region(placement: &[DcId], f: usize, seed: u64) -> Option<Region> {
+    let eligible: Vec<Region> = Region::ALL
+        .into_iter()
+        .filter(|r| r.dcs().iter().filter(|d| placement.contains(d)).count() <= f)
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    Some(eligible[(seed as usize) % eligible.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legostore_cloud::CloudModel;
+
+    fn spec() -> WorkloadSpec {
+        let mut s = WorkloadSpec::example();
+        s.arrival_rate = 300.0;
+        s.client_distribution = vec![
+            (GcpLocation::Tokyo.dc(), 0.5),
+            (GcpLocation::Frankfurt.dc(), 0.5),
+        ];
+        s
+    }
+
+    #[test]
+    fn regions_partition_the_nine_dcs() {
+        let model = CloudModel::gcp9();
+        let mut all: Vec<DcId> = Region::ALL.iter().flat_map(|r| r.dcs()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), model.num_dcs());
+    }
+
+    #[test]
+    fn diurnal_conserves_count_and_order_and_is_deterministic() {
+        let flat = TraceGenerator::new(spec(), 3, 11).generate(20_000.0);
+        let warped = diurnal_schedule(&spec(), 3, 11, 20_000.0, 2, 0.8);
+        assert_eq!(flat.len(), warped.len());
+        for (a, b) in flat.iter().zip(warped.iter()) {
+            assert_eq!((a.kind, a.origin, a.key_index, a.object_size),
+                       (b.kind, b.origin, b.key_index, b.object_size));
+        }
+        for w in warped.windows(2) {
+            assert!(w[0].time_ms <= w[1].time_ms);
+        }
+        assert_eq!(warped, diurnal_schedule(&spec(), 3, 11, 20_000.0, 2, 0.8));
+    }
+
+    #[test]
+    fn diurnal_actually_moves_mass_into_peaks() {
+        // With two cycles over the window, the quarters around the peaks (at u = 1/4 and
+        // u = 3/4 of each cycle) must hold visibly more than a flat trace's share.
+        let warped = diurnal_schedule(&spec(), 1, 5, 40_000.0, 1, 0.9);
+        let peak_window = warped
+            .iter()
+            .filter(|r| (0.35..0.65).contains(&(r.time_ms / 40_000.0)))
+            .count() as f64;
+        let frac = peak_window / warped.len() as f64;
+        assert!(frac > 0.40, "peak-centered 30% of time should hold >40% of load, got {frac}");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_and_reorigins() {
+        let total = 30_000.0;
+        let warped = flash_crowd_schedule(
+            &spec(), 2, 7, total,
+            GcpLocation::Sydney.dc(),
+            10_000.0, 14_000.0, 0.6, 0.9,
+        );
+        let flat = TraceGenerator::new(spec(), 2, 7).generate(total);
+        assert_eq!(flat.len(), warped.len(), "count conserved");
+        let in_window: Vec<&Request> = warped
+            .iter()
+            .filter(|r| (10_000.0..14_000.0).contains(&r.time_ms))
+            .collect();
+        let mass = in_window.len() as f64 / warped.len() as f64;
+        assert!((0.5..0.7).contains(&mass), "window should hold ~60% of requests, got {mass}");
+        let crowd = in_window
+            .iter()
+            .filter(|r| r.origin == GcpLocation::Sydney.dc())
+            .count() as f64;
+        assert!(
+            crowd / in_window.len() as f64 > 0.8,
+            "most window requests re-originate at the crowded DC"
+        );
+        assert_eq!(
+            warped,
+            flash_crowd_schedule(
+                &spec(), 2, 7, total,
+                GcpLocation::Sydney.dc(),
+                10_000.0, 14_000.0, 0.6, 0.9,
+            )
+        );
+    }
+
+    #[test]
+    fn outage_plan_respects_tolerance() {
+        let placement = vec![
+            GcpLocation::Tokyo.dc(),
+            GcpLocation::LosAngeles.dc(),
+            GcpLocation::Oregon.dc(),
+        ];
+        // Americas-West holds two placement members: beyond f = 1.
+        assert!(correlated_outage_plan(
+            Region::AmericasWest, &placement, 1, 1_000.0, 3_000.0, 0
+        )
+        .is_none());
+        // Asia-Pacific holds one: allowed, and the plan crashes the whole region.
+        let plan = correlated_outage_plan(Region::AsiaPacific, &placement, 1, 1_000.0, 3_000.0, 0)
+            .expect("within tolerance");
+        let crashes = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::CrashDc { .. }))
+            .count();
+        assert_eq!(crashes, 3, "all three APAC DCs crash together");
+        // Every crash has its restart.
+        let restarts = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::RestartDc { .. }))
+            .count();
+        assert_eq!(restarts, crashes);
+    }
+
+    #[test]
+    fn region_pick_is_deterministic_and_eligible() {
+        let placement = vec![
+            GcpLocation::Singapore.dc(),
+            GcpLocation::Frankfurt.dc(),
+            GcpLocation::Virginia.dc(),
+            GcpLocation::LosAngeles.dc(),
+            GcpLocation::Oregon.dc(),
+        ];
+        for seed in 0..16 {
+            let r = pick_outage_region(&placement, 1, seed).expect("eligible region exists");
+            assert_eq!(r, pick_outage_region(&placement, 1, seed).unwrap());
+            let overlap = r.dcs().iter().filter(|d| placement.contains(d)).count();
+            assert!(overlap <= 1, "{r:?} overlaps placement by {overlap}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the campaign's scenario generators: time-warped schedules
+//! conserve the base trace's requests exactly, correlated-region outages never breach
+//! the placement's fault tolerance, and every generator is seed-deterministic.
+
+use legostore_cloud::GcpLocation;
+use legostore_types::{DcId, FaultKind, OpKind};
+use legostore_workload::{
+    correlated_outage_plan, diurnal_schedule, flash_crowd_schedule, pick_outage_region,
+    Region, TraceGenerator, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn spec_with(rate: f64, ratio: f64) -> WorkloadSpec {
+    let mut s = WorkloadSpec::example();
+    s.arrival_rate = rate;
+    s.read_ratio = ratio;
+    s.client_distribution = vec![
+        (GcpLocation::Tokyo.dc(), 0.4),
+        (GcpLocation::Frankfurt.dc(), 0.3),
+        (GcpLocation::Sydney.dc(), 0.3),
+    ];
+    s
+}
+
+/// The placement encoded by a 9-bit mask over the gcp9 data centers.
+fn placement_from(mask: u16) -> Vec<DcId> {
+    (0..9usize).filter(|i| mask & (1 << i) != 0).map(DcId::from).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diurnal_schedules_conserve_the_base_trace(
+        seed in 0u64..10_000,
+        rate in 50.0f64..400.0,
+        cycles in 1u32..5,
+        swing in 0.0f64..0.95,
+    ) {
+        let duration = 8_000.0;
+        let spec = spec_with(rate, 0.5);
+        let base = TraceGenerator::new(spec.clone(), 8, seed).generate(duration);
+        let warped = diurnal_schedule(&spec, 8, seed, duration, cycles, swing);
+        // Exactly the base requests — count, kind, origin, key, size — redistributed
+        // in time; the warp may not invent, drop, or relabel a single request.
+        prop_assert_eq!(base.len(), warped.len());
+        for (b, w) in base.iter().zip(&warped) {
+            prop_assert_eq!(b.kind, w.kind);
+            prop_assert_eq!(b.origin, w.origin);
+            prop_assert_eq!(b.key_index, w.key_index);
+            prop_assert_eq!(b.object_size, w.object_size);
+            prop_assert!((0.0..=duration).contains(&w.time_ms));
+        }
+    }
+
+    #[test]
+    fn flash_crowds_conserve_count_and_only_retarget_inside_the_window(
+        seed in 0u64..10_000,
+        rate in 50.0f64..400.0,
+        surge_mass in 0.1f64..0.9,
+        crowd_frac in 0.0f64..1.0,
+    ) {
+        let duration = 8_000.0;
+        let (w0, w1) = (0.3 * duration, 0.6 * duration);
+        let target = GcpLocation::LosAngeles.dc();
+        let spec = spec_with(rate, 30.0 / 31.0);
+        let base = TraceGenerator::new(spec.clone(), 8, seed).generate(duration);
+        let warped = flash_crowd_schedule(
+            &spec, 8, seed, duration, target, w0, w1, surge_mass, crowd_frac,
+        );
+        prop_assert_eq!(base.len(), warped.len());
+        // The op mix and sizes survive re-timing and re-origin untouched.
+        let gets = |rs: &[legostore_workload::Request]| {
+            rs.iter().filter(|r| r.kind == OpKind::Get).count()
+        };
+        prop_assert_eq!(gets(&base), gets(&warped));
+        let bytes = |rs: &[legostore_workload::Request]| {
+            rs.iter().map(|r| r.object_size).sum::<u64>()
+        };
+        prop_assert_eq!(bytes(&base), bytes(&warped));
+        for r in &warped {
+            prop_assert!((0.0..=duration).contains(&r.time_ms));
+            // Re-origination to the crowded DC only happens inside the surge window;
+            // outside it the original origins must survive (the base trace never
+            // targets LA in this spec, so any LA origin outside the window is a bug).
+            if !(w0..w1).contains(&r.time_ms) {
+                prop_assert_ne!(r.origin, target);
+            }
+        }
+        let mut last = 0.0f64;
+        for r in &warped {
+            prop_assert!(r.time_ms >= last, "schedule must stay time-sorted");
+            last = r.time_ms;
+        }
+    }
+
+    #[test]
+    fn region_outages_never_breach_the_placement_tolerance(
+        mask in 1u16..512,
+        f in 1usize..3,
+        seed: u64,
+    ) {
+        let placement = placement_from(mask);
+        for region in Region::ALL {
+            let overlap = region
+                .dcs()
+                .iter()
+                .filter(|d| placement.contains(d))
+                .count();
+            let plan = correlated_outage_plan(region, &placement, f, 1_000.0, 2_000.0, seed);
+            if overlap > f {
+                prop_assert!(plan.is_none(), "outage beyond f must be refused");
+                continue;
+            }
+            let plan = plan.expect("within-tolerance outage must be expressible");
+            // Every crash is paired with a restart, and the crashed *placement*
+            // members never exceed f (non-placement DCs may crash freely — they hold
+            // no shards).
+            let crashed_members = plan
+                .events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    FaultKind::CrashDc { dc } if placement.contains(&dc) => Some(dc),
+                    _ => None,
+                })
+                .count();
+            prop_assert!(crashed_members <= f);
+            let crashes = plan
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::CrashDc { .. }))
+                .count();
+            let restarts = plan
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::RestartDc { .. }))
+                .count();
+            prop_assert_eq!(crashes, restarts);
+        }
+        // The picker must agree with the plan builder about eligibility.
+        if let Some(region) = pick_outage_region(&placement, f, seed) {
+            prop_assert!(
+                correlated_outage_plan(region, &placement, f, 0.0, 1.0, seed).is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_schedules_are_seed_deterministic(
+        seed in 0u64..10_000,
+        swing in 0.0f64..0.9,
+    ) {
+        let duration = 6_000.0;
+        let spec = spec_with(120.0, 0.5);
+        let a = diurnal_schedule(&spec, 4, seed, duration, 2, swing);
+        let b = diurnal_schedule(&spec, 4, seed, duration, 2, swing);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let target = GcpLocation::Oregon.dc();
+        let c = flash_crowd_schedule(&spec, 4, seed, duration, target, 1_000.0, 3_000.0, 0.5, 0.7);
+        let d = flash_crowd_schedule(&spec, 4, seed, duration, target, 1_000.0, 3_000.0, 0.5, 0.7);
+        prop_assert_eq!(format!("{c:?}"), format!("{d:?}"));
+    }
+}

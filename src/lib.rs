@@ -22,6 +22,7 @@
 //! | [`sim`] | `legostore-sim` | Deterministic geo-distributed simulator with cost metering |
 //! | [`workload`] | `legostore-workload` | Workload grid, Poisson traces, Wikipedia-like trace |
 //! | [`lincheck`] | `legostore-lincheck` | Linearizability checker for recorded histories |
+//! | [`campaign`] | `legostore-campaign` | Tiered seeded scenario sweeps with deterministic reports |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 //! sockets. See `examples/multi_process.rs` and the "Transport" section of
 //! `ARCHITECTURE.md`.
 
+pub use legostore_campaign as campaign;
 pub use legostore_cloud as cloud;
 pub use legostore_core as store;
 pub use legostore_erasure as erasure;

@@ -1,0 +1,46 @@
+//! Workspace-level campaign smoke: the tier specs hold their budget promises, and a
+//! representative slice of cells runs green end to end through the facade crate.
+
+use legostore::campaign::{run_cell, ScenarioFamily, SweepSpec, Tier};
+
+#[test]
+fn tier_budgets_hold_their_promises() {
+    // The ci tier is the gate the acceptance criteria measure: at least 200 cells and
+    // every scenario family represented.
+    let ci = SweepSpec::for_tier(Tier::Ci).cells();
+    assert!(ci.len() >= 200, "ci tier must sweep >= 200 cells, got {}", ci.len());
+    for family in [
+        ScenarioFamily::Baseline,
+        ScenarioFamily::Diurnal,
+        ScenarioFamily::FlashCrowd,
+        ScenarioFamily::RegionOutage,
+        ScenarioFamily::ProtocolFlip,
+    ] {
+        assert!(
+            ci.iter().any(|c| c.family == family),
+            "ci tier must include the {family:?} family"
+        );
+    }
+    // Tiers are strictly ordered in breadth.
+    let smoke = SweepSpec::for_tier(Tier::Smoke).cells();
+    let nightly = SweepSpec::for_tier(Tier::Nightly).cells();
+    let full = SweepSpec::for_tier(Tier::Full).cells();
+    assert!(smoke.len() < ci.len() && ci.len() < nightly.len() && nightly.len() < full.len());
+}
+
+#[test]
+fn one_cell_per_scenario_family_runs_green() {
+    let cells = SweepSpec::for_tier(Tier::Smoke).cells();
+    for family in [
+        ScenarioFamily::Baseline,
+        ScenarioFamily::Diurnal,
+        ScenarioFamily::FlashCrowd,
+        ScenarioFamily::RegionOutage,
+        ScenarioFamily::ProtocolFlip,
+    ] {
+        let cell = cells.iter().find(|c| c.family == family).unwrap();
+        let out = run_cell(cell);
+        assert!(out.passed(), "{} failed: {:?}", out.cell_id, out.violations);
+        assert!(out.ops > 0, "{} ran no operations", out.cell_id);
+    }
+}
