@@ -13,10 +13,11 @@ use legostore_cloud::{CloudModel, GcpLocation};
 use legostore_obs::{Obs, ObsConfig};
 use legostore_optimizer::{Optimizer, ReconfigTrigger, TriggerThresholds, WorkloadMonitor};
 use legostore_sim::{SimOptions, SimReport, Simulation};
-use legostore_types::{Configuration, FaultPlan, ProtocolKind, Value};
+use legostore_types::{Configuration, DcId, FaultPlan, ProtocolKind, Value};
 use legostore_workload::{
     correlated_outage_plan, diurnal_schedule, flash_crowd_schedule, generate_fault_plan,
-    pick_outage_region, FaultPlanSpec, Request, TraceGenerator,
+    pick_outage_region, reconfig_storm_plan, reconfig_storm_times, FaultPlanSpec, Request,
+    TraceGenerator,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -245,6 +246,64 @@ fn run_protocol_flip(cell: &CellSpec) -> RunOutcome {
     outcome_from_report(cell, label, &report, &expected)
 }
 
+/// The reconfiguration-storm scenario: the transfer path itself under fire. The cell's
+/// protocol picks the starting configuration; the storm flips every key to the *other*
+/// protocol's placement mid-run and back again, while a seeded within-`f` fault plan —
+/// drawn over the union of both placements, so crash/partition windows land on the
+/// transfer's source and destination alike — races the controller rounds and the
+/// client traffic. Judged with `min_reconfigs ≥ 1` (the storm must actually move the
+/// keys) on top of the usual linearizability verdict; a cell whose history double-
+/// applies a redirected PUT across the epoch boundary fails here.
+fn run_reconfig_storm(cell: &CellSpec) -> RunOutcome {
+    let model = CloudModel::gcp9();
+    let start_config = cell.placement.config(cell.protocol);
+    let other = match cell.protocol {
+        ProtocolKind::Abd => ProtocolKind::Cas,
+        ProtocolKind::Cas => ProtocolKind::Abd,
+    };
+    let flip_config = cell.placement.config(other);
+    let universe: Vec<DcId> = (0..model.num_dcs()).map(DcId::from).collect();
+    let plan = reconfig_storm_plan(
+        &[start_config.dcs.clone(), flip_config.dcs.clone()],
+        universe,
+        CAMPAIGN_F,
+        cell.duration_ms,
+        cell.seed,
+    );
+    let heal_ms = plan.events.iter().map(|e| e.at_ms).fold(0.0, f64::max);
+    let trace = TraceGenerator::new(cell.workload.clone(), cell.keys(), cell.seed)
+        .generate(cell.duration_ms);
+
+    let mut sim = Simulation::with_options(model, sim_options());
+    sim.enable_history_recording();
+    let initial = Value::filler(cell.workload.object_size as usize);
+    for i in 0..cell.keys() {
+        sim.create_key(key_name(i), start_config.clone(), &initial);
+    }
+    sim.set_fault_plan(&plan);
+    sim.schedule_trace(&trace, 0.0, key_name);
+    for (flip, at_ms) in reconfig_storm_times(cell.duration_ms, 2).into_iter().enumerate() {
+        let target = if flip % 2 == 0 { &flip_config } else { &start_config };
+        for i in 0..cell.keys() {
+            sim.schedule_reconfig(at_ms, key_name(i), target.clone());
+        }
+    }
+    let report = sim.run();
+    let expected = ExpectedProperty {
+        min_availability: BASELINE_MIN_AVAILABILITY,
+        max_availability: None,
+        live_after_ms: Some(heal_ms + 1.0),
+        min_reconfigs: 1,
+        min_timeout_widens: 0,
+    };
+    let label = format!(
+        "{}<->{}",
+        protocol_label(cell.protocol),
+        protocol_label(other)
+    );
+    outcome_from_report(cell, label, &report, &expected)
+}
+
 /// Executes one cell (synchronously, on the calling thread).
 pub fn run_cell(cell: &CellSpec) -> RunOutcome {
     match cell.family {
@@ -253,6 +312,7 @@ pub fn run_cell(cell: &CellSpec) -> RunOutcome {
         ScenarioFamily::FlashCrowd => run_flash_crowd(cell),
         ScenarioFamily::RegionOutage => run_region_outage(cell),
         ScenarioFamily::ProtocolFlip => run_protocol_flip(cell),
+        ScenarioFamily::ReconfigStorm => run_reconfig_storm(cell),
     }
 }
 

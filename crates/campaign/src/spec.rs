@@ -198,15 +198,21 @@ pub enum ScenarioFamily {
     /// A mid-run workload shift that the live monitor must answer with an ABD↔CAS /
     /// placement reconfiguration.
     ProtocolFlip,
+    /// Seeded concurrent reconfigurations (ABD↔CAS epoch flips mid-traffic) under a
+    /// within-`f` fault plan drawn over *both* placements: the transfer path itself
+    /// under fire. Expected: at least one reconfiguration completes and every history
+    /// stays linearizable.
+    ReconfigStorm,
 }
 
 impl ScenarioFamily {
-    /// The four non-baseline families, in sweep order.
-    pub const SCENARIOS: [ScenarioFamily; 4] = [
+    /// The five non-baseline families, in sweep order.
+    pub const SCENARIOS: [ScenarioFamily; 5] = [
         ScenarioFamily::Diurnal,
         ScenarioFamily::FlashCrowd,
         ScenarioFamily::RegionOutage,
         ScenarioFamily::ProtocolFlip,
+        ScenarioFamily::ReconfigStorm,
     ];
 
     /// Short label for cell ids and reports.
@@ -217,6 +223,7 @@ impl ScenarioFamily {
             ScenarioFamily::FlashCrowd => "flash-crowd",
             ScenarioFamily::RegionOutage => "region-outage",
             ScenarioFamily::ProtocolFlip => "protocol-flip",
+            ScenarioFamily::ReconfigStorm => "reconfig-storm",
         }
     }
 }
@@ -396,6 +403,20 @@ pub fn scenario_workload(family: ScenarioFamily, model: &CloudModel) -> Workload
                 (GcpLocation::Frankfurt.dc(), 0.5),
             ];
         }
+        ScenarioFamily::ReconfigStorm => {
+            // Write-heavy enough that PUTs are always in flight when an epoch flips
+            // (the cross-epoch double-apply needs a redirected write), from clients
+            // near the old placement, the new placement, and a third-party region.
+            spec.name = "storm-1k-RW".into();
+            spec.object_size = 1024;
+            spec.read_ratio = 0.5;
+            spec.arrival_rate = 150.0;
+            spec.client_distribution = vec![
+                (GcpLocation::Tokyo.dc(), 0.4),
+                (GcpLocation::Oregon.dc(), 0.3),
+                (GcpLocation::Frankfurt.dc(), 0.3),
+            ];
+        }
     }
     spec
 }
@@ -432,6 +453,7 @@ mod tests {
             ScenarioFamily::FlashCrowd,
             ScenarioFamily::RegionOutage,
             ScenarioFamily::ProtocolFlip,
+            ScenarioFamily::ReconfigStorm,
         ] {
             assert!(
                 cells.iter().any(|c| c.family == family),

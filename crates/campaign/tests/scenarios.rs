@@ -45,6 +45,27 @@ fn region_outage_cell_shows_stress_and_recovers() {
 }
 
 #[test]
+fn reconfig_storm_cell_moves_the_keys_and_stays_linearizable() {
+    // Both flip directions: the ABD cell storms ABD→CAS→ABD, the CAS cell the reverse.
+    for protocol in [ProtocolKind::Abd, ProtocolKind::Cas] {
+        let cell = smoke_cell(ScenarioFamily::ReconfigStorm, protocol);
+        let out = run_cell(&cell);
+        assert!(out.passed(), "storm cell {} failed: {:?}", out.cell_id, out.violations);
+        assert!(
+            out.reconfigs >= 1,
+            "the storm must complete at least one reconfiguration ({})",
+            out.cell_id
+        );
+        assert_eq!(
+            out.linearizable,
+            Some(true),
+            "a reconfig storm must stay linearizable ({})",
+            out.cell_id
+        );
+    }
+}
+
+#[test]
 fn flash_crowd_cell_survives_the_surge() {
     let cell = smoke_cell(ScenarioFamily::FlashCrowd, ProtocolKind::Cas);
     let out = run_cell(&cell);

@@ -54,6 +54,17 @@ impl ClientOp {
         }
     }
 
+    /// The tag a PUT has committed to (`None` for GETs and for PUTs still in their
+    /// query phase). A rebuild across a configuration epoch must carry this tag into
+    /// the new state machine — see [`StoreClient::rebuild_for_epoch`].
+    fn chosen_tag(&self) -> Option<Tag> {
+        match self {
+            ClientOp::AbdPut(o) => o.chosen_tag(),
+            ClientOp::CasPut(o) => o.chosen_tag(),
+            ClientOp::AbdGet(_) | ClientOp::CasGet(_) => None,
+        }
+    }
+
     /// The protocol phase the state machine is currently in (for telemetry spans).
     fn current_phase(&self) -> u8 {
         match self {
@@ -313,6 +324,58 @@ impl StoreClient {
         op
     }
 
+    /// Rebuilds the state machine after a reconfiguration moved the key to a new epoch.
+    ///
+    /// A PUT that already chose its tag in the old epoch re-enters the new epoch
+    /// *resumed* at the write phase with that tag pinned
+    /// ([`AbdPut::resume_write`] / [`CasPut::resume_write`]): its old-epoch phase-2
+    /// writes may have landed at old servers and been transferred into the new
+    /// placement, so a fresh machine would re-query and install the same value again
+    /// under a higher tag — one logical PUT linearizing twice, observable as a
+    /// new → old → new read sequence. GETs and PUTs still in their query phase have no
+    /// cross-epoch effect to deduplicate and restart fresh.
+    fn rebuild_for_epoch(
+        &self,
+        key: &Key,
+        kind: OpKind,
+        config: &Configuration,
+        value: Option<&Value>,
+        pinned: Option<Tag>,
+        span: &mut Option<OpSpan>,
+    ) -> ClientOp {
+        let Some(tag) = pinned.filter(|_| kind.is_put()) else {
+            return self.build_op_traced(key, kind, config, value, span);
+        };
+        let clock = self.cluster.clock();
+        let build_started_ns = clock.now_ns();
+        let value = value.cloned().unwrap_or_else(Value::empty);
+        let op = match config.protocol {
+            ProtocolKind::Abd => ClientOp::AbdPut(AbdPut::resume_write(
+                key.clone(),
+                config.clone(),
+                self.dc,
+                self.client_id,
+                tag,
+                value,
+            )),
+            ProtocolKind::Cas => ClientOp::CasPut(CasPut::resume_write(
+                key.clone(),
+                config.clone(),
+                self.dc,
+                self.client_id,
+                tag,
+                value,
+            )),
+        };
+        if let Some(s) = span.as_mut() {
+            if matches!(config.protocol, ProtocolKind::Cas) {
+                let now = clock.now_ns();
+                s.push(now, SpanEventKind::Encode { dur_ns: now.saturating_sub(build_started_ns) });
+            }
+        }
+        op
+    }
+
     /// Runs one GET/PUT to completion, handling reconfiguration redirects and timeouts.
     /// Returns the value read (GETs) or the value written (PUTs) plus the one-phase flag.
     ///
@@ -393,6 +456,11 @@ impl StoreClient {
         // effect-free reads report.
         let mut op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
         let mut resume = false;
+        // True once a reconfiguration redirected this operation into a newer epoch.
+        // During that window a KeyNotFound from a new-placement server is transient
+        // (the controller's write-new round may not have reached it yet), so it is
+        // retried instead of surfaced, as long as the metadata still lists the key.
+        let mut crossed_epochs = false;
         // Span bookkeeping: which phase is running and when it started (a reply's
         // network share is measured from the start of the phase that solicited it).
         let mut last_phase: u8 = 0;
@@ -430,7 +498,8 @@ impl StoreClient {
                     self.cluster.send_request(self.dc, out.to, &endpoint, inbound)?;
                 }
                 // Wait for the next reply (or the attempt deadline).
-                let env = match self.wait_for_reply(&endpoint, &mut inbox, deadline_ns) {
+                let env = match self.wait_for_reply(&endpoint, &mut inbox, config.epoch, deadline_ns)
+                {
                     Some(env) => env,
                     None => {
                         timed_out = true;
@@ -519,8 +588,18 @@ impl StoreClient {
                             last_error = StoreError::OperationFailedByReconfig {
                                 new_epoch: config.epoch,
                             };
-                            op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
+                            // Rebuild for the new epoch, pinning the tag a PUT already
+                            // chose (its old-epoch writes may have been transferred).
+                            op = self.rebuild_for_epoch(
+                                key,
+                                kind,
+                                &config,
+                                value.as_ref(),
+                                op.chosen_tag(),
+                                span,
+                            );
                             resume = false;
+                            crossed_epochs = true;
                             break;
                         }
                         OpOutcome::Failed(err) => {
@@ -531,6 +610,26 @@ impl StoreClient {
                                 // finalized tag, which a resumed read would keep missing.
                                 last_error = err;
                                 op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
+                                resume = false;
+                                break;
+                            }
+                            if crossed_epochs
+                                && matches!(err, StoreError::KeyNotFound(_))
+                                && self.cluster.metadata.lock().contains_key(key)
+                            {
+                                // The redirect raced the controller's write-new round: a
+                                // new-placement server answered before the key reached
+                                // it. The metadata still lists the key, so retry (with
+                                // the PUT's tag still pinned) instead of failing.
+                                last_error = err;
+                                op = self.rebuild_for_epoch(
+                                    key,
+                                    kind,
+                                    &config,
+                                    value.as_ref(),
+                                    op.chosen_tag(),
+                                    span,
+                                );
                                 resume = false;
                                 break;
                             }
@@ -554,8 +653,18 @@ impl StoreClient {
             if let Ok(fresh) = self.refresh_view(key) {
                 if fresh.epoch > config.epoch {
                     config = fresh;
-                    op = self.build_op_traced(key, kind, &config, value.as_ref(), span);
+                    // Same cross-epoch hazard as the redirect arm: a timed-out PUT whose
+                    // old-epoch writes were transferred must keep its tag in the new epoch.
+                    op = self.rebuild_for_epoch(
+                        key,
+                        kind,
+                        &config,
+                        value.as_ref(),
+                        op.chosen_tag(),
+                        span,
+                    );
                     resume = false;
+                    crossed_epochs = true;
                     continue;
                 }
             }
@@ -594,19 +703,23 @@ impl StoreClient {
     /// delays. `deadline_ns` is a [`Clock::now_ns`](crate::clock::Clock::now_ns)
     /// timestamp. All parking happens in channel waits (never in a bare clock sleep), so
     /// replies keep being drained into the inbox while we wait for the earliest one.
+    ///
+    /// Replies are filtered by endpoint id *and* by `epoch`: every request of the
+    /// attempt carries the attempt's configuration epoch and servers echo it back, so
+    /// an envelope stamped with any other epoch is a straggler solicited before a
+    /// reconfiguration redirect (or a routing mix-up) and is discarded unseen.
     fn wait_for_reply(
         &mut self,
         endpoint: &Endpoint,
         inbox: &mut DelayedInbox<ReplyEnvelope>,
+        epoch: legostore_types::ConfigEpoch,
         deadline_ns: u64,
     ) -> Option<ReplyEnvelope> {
         let clock = self.cluster.clock().clone();
         loop {
-            // Drain anything already delivered into the delayed inbox. The endpoint is
-            // per-attempt so every envelope should match its id; the filter stays as a
-            // guard against routing mix-ups.
+            // Drain anything already delivered into the delayed inbox.
             while let Some(env) = endpoint.try_recv() {
-                if env.endpoint == endpoint.id() {
+                if env.endpoint == endpoint.id() && env.epoch == epoch {
                     self.buffer_reply(inbox, env);
                 }
             }
@@ -622,7 +735,7 @@ impl StoreClient {
                 .min(deadline_ns);
             match endpoint.recv_deadline_ns(wake_ns) {
                 Some(env) => {
-                    if env.endpoint == endpoint.id() {
+                    if env.endpoint == endpoint.id() && env.epoch == epoch {
                         self.buffer_reply(inbox, env);
                     }
                 }

@@ -17,13 +17,13 @@ use legostore_cloud::CloudModel;
 use legostore_lincheck::HistoryRecorder;
 use legostore_obs::{ClientMetrics, MetricsSnapshot, Obs, ObsConfig, ServerMetrics};
 use legostore_proto::msg::MSG_KIND_NAMES;
-use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
+use legostore_proto::reconfig::{ControllerProgress, ReconfigController, PHASE_FINISH};
 use legostore_proto::server::{ControlMsg, DcServer, Inbound, MAX_REPLY_ROUTES};
 use legostore_types::{
     Configuration, DcId, FaultPlan, Key, StoreError, StoreResult, Tag, Value,
 };
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
@@ -65,6 +65,21 @@ pub struct ClusterOptions {
     /// `LEGOSTORE_OBS=1` / `LEGOSTORE_TRACE=1` light up any deployment without a code
     /// change; `Off` costs one relaxed atomic load per would-be instrumentation point.
     pub obs: ObsConfig,
+    /// How long a server keeps a key's requests parked for a reconfiguration whose
+    /// `FinishReconfig` never arrives before re-activating the old epoch and draining
+    /// them there (see `DcServer::expire_leases`). `None` derives 16 × `op_timeout`,
+    /// twice the controller's own 8 × `op_timeout` deadline — a live controller always
+    /// finishes or stalls out before any server gives up on it, so a lease expiry
+    /// implies the controller is gone and the metadata service never published the new
+    /// configuration.
+    pub epoch_lease: Option<Duration>,
+}
+
+impl ClusterOptions {
+    /// The effective epoch lease in nanoseconds (defaulting from `op_timeout`).
+    pub(crate) fn epoch_lease_ns(&self) -> u64 {
+        self.epoch_lease.unwrap_or(self.op_timeout * 16).as_nanos() as u64
+    }
 }
 
 impl Default for ClusterOptions {
@@ -80,6 +95,7 @@ impl Default for ClusterOptions {
             clock: Clock::real(),
             fault_plan: FaultPlan::none(),
             obs: ObsConfig::from_env(),
+            epoch_lease: None,
         }
     }
 }
@@ -180,6 +196,7 @@ impl Cluster {
         let (transport, receivers) = InProcTransport::new(links, model.dc_ids());
         let obs_level = options.obs;
         let metadata_bytes = options.metadata_bytes;
+        let epoch_lease_ns = options.epoch_lease_ns();
         let client_metrics = ClientMetrics::new(&obs);
         let inner = Arc::new(ClusterInner {
             model,
@@ -200,7 +217,9 @@ impl Cluster {
                 let obs = Obs::new(obs_level);
                 std::thread::Builder::new()
                     .name(format!("legostore-server-{dc}"))
-                    .spawn(move || server_loop(dc, rx, clock, obs, metadata_bytes))
+                    .spawn(move || {
+                        server_loop(dc, rx, clock, obs, metadata_bytes, epoch_lease_ns)
+                    })
                     .expect("spawn server thread")
             })
             .collect();
@@ -364,6 +383,14 @@ impl Cluster {
     /// Returns the clock-time duration of the transfer (query → write → metadata update →
     /// finish), which the paper reports as sub-second at real geo latencies. Under a
     /// virtual clock this is the modeled duration, independent of scheduler jitter.
+    ///
+    /// Fault tolerance: every controller round is idempotent at the servers, so if a
+    /// round makes no progress for one `op_timeout` it is re-sent in full — a crashed or
+    /// partitioned minority of either placement only delays the transfer. If the overall
+    /// deadline of 8 × `op_timeout` passes without completing, the transfer stalls with
+    /// [`StoreError::ReconfigStalled`] naming the round it died in; the metadata service
+    /// still points at the old configuration, and the old servers re-activate on their
+    /// epoch lease, so no key is left half-moved.
     pub fn reconfigure(&self, key: impl Into<Key>, new_config: Configuration) -> StoreResult<Duration> {
         let key = key.into();
         let old = self
@@ -374,10 +401,12 @@ impl Cluster {
         let started_ns = clock.now_ns();
         let controller_dc = self.inner.options.controller_dc;
         let mut controller = ReconfigController::new(key.clone(), old, new_config);
+        let target_epoch = controller.new_config().epoch;
         let endpoint = self.inner.transport.open_endpoint();
         let mut inbox: DelayedInbox<ReplyEnvelope> = DelayedInbox::new();
         let mut outbound = controller.start();
-        let deadline_ns = started_ns + (self.inner.options.op_timeout * 8).as_nanos() as u64;
+        let op_timeout_ns = self.inner.options.op_timeout.as_nanos() as u64;
+        let deadline_ns = started_ns + op_timeout_ns * 8;
         let outcome = loop {
             for out in outbound.drain(..) {
                 let inbound = Inbound {
@@ -392,7 +421,11 @@ impl Cluster {
             }
             // Collect replies until the controller advances. All parking happens in
             // channel waits so arriving replies keep being drained (a bare clock sleep
-            // would leave them undelivered and stall a virtual clock).
+            // would leave them undelivered and stall a virtual clock). If a full
+            // op-timeout passes with no round transition, the current round is re-sent:
+            // requests or replies lost to faults are replaced, and servers that already
+            // answered just answer again (all rounds are idempotent).
+            let resend_at_ns = clock.now_ns() + op_timeout_ns;
             let mut progressed = None;
             while progressed.is_none() {
                 while let Some(env) = endpoint.try_recv() {
@@ -406,22 +439,24 @@ impl Cluster {
                     }
                     continue;
                 }
+                let now = clock.now_ns();
+                if now >= deadline_ns {
+                    return Err(StoreError::ReconfigStalled {
+                        epoch: target_epoch,
+                        round: controller.round_number(),
+                    });
+                }
+                if now >= resend_at_ns {
+                    progressed = Some(Ok(controller.resend_current_round()));
+                    continue;
+                }
                 let wake_ns = inbox
                     .next_available_at()
                     .unwrap_or(deadline_ns)
-                    .min(deadline_ns);
-                if clock.now_ns() >= deadline_ns {
-                    return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
-                }
-                match endpoint.recv_deadline_ns(wake_ns) {
-                    Some(env) => {
-                        self.inner.buffer_reply(controller_dc, &mut inbox, env);
-                    }
-                    None => {
-                        if clock.now_ns() >= deadline_ns {
-                            return Err(StoreError::QuorumTimeout { needed: 0, received: 0 });
-                        }
-                    }
+                    .min(deadline_ns)
+                    .min(resend_at_ns);
+                if let Some(env) = endpoint.recv_deadline_ns(wake_ns) {
+                    self.inner.buffer_reply(controller_dc, &mut inbox, env);
                 }
             }
             match progressed.expect("set above") {
@@ -429,22 +464,48 @@ impl Cluster {
                 Err(outcome) => break outcome,
             }
         };
-        // Update the metadata service, then release the old configuration's servers.
+        // The new placement holds the transferred value; publish it, then release the old
+        // configuration's servers. The finish round is retried on the same op-timeout
+        // cadence until every old-placement server acks or the deadline passes — but a
+        // partial finish is not an error: the metadata already points at the new
+        // configuration, and any old server that never hears the finish re-activates on
+        // its epoch lease, fails subsequent requests with a redirect, and gets pruned.
         self.inner
             .metadata
             .lock()
             .insert(key.clone(), outcome.new_config.clone());
-        for out in &outcome.finish_messages {
-            let inbound = Inbound {
-                from: endpoint.id(),
-                msg_id: 0,
-                phase: out.phase,
-                key: out.key.clone(),
-                epoch: out.epoch,
-                msg: out.msg.clone(),
-            };
-            self.inner
-                .send_request(self.inner.options.controller_dc, out.to, &endpoint, inbound)?;
+        let mut acked: HashSet<DcId> = HashSet::new();
+        while acked.len() < outcome.finish_messages.len() && clock.now_ns() < deadline_ns {
+            for out in outcome.finish_messages.iter().filter(|o| !acked.contains(&o.to)) {
+                let inbound = Inbound {
+                    from: endpoint.id(),
+                    msg_id: 0,
+                    phase: out.phase,
+                    key: out.key.clone(),
+                    epoch: out.epoch,
+                    msg: out.msg.clone(),
+                };
+                self.inner.send_request(controller_dc, out.to, &endpoint, inbound)?;
+            }
+            let resend_at_ns = (clock.now_ns() + op_timeout_ns).min(deadline_ns);
+            while acked.len() < outcome.finish_messages.len() && clock.now_ns() < resend_at_ns {
+                while let Some(env) = endpoint.try_recv() {
+                    self.inner.buffer_reply(controller_dc, &mut inbox, env);
+                }
+                if let Some(env) = inbox.pop_ready(clock.now_ns()) {
+                    if env.phase == PHASE_FINISH {
+                        acked.insert(env.from);
+                    }
+                    continue;
+                }
+                let wake_ns = inbox
+                    .next_available_at()
+                    .unwrap_or(resend_at_ns)
+                    .min(resend_at_ns);
+                if let Some(env) = endpoint.recv_deadline_ns(wake_ns) {
+                    self.inner.buffer_reply(controller_dc, &mut inbox, env);
+                }
+            }
         }
         Ok(Duration::from_nanos(clock.now_ns() - started_ns))
     }
@@ -483,9 +544,11 @@ fn server_loop(
     clock: Clock,
     obs: Obs,
     metadata_bytes: u64,
+    epoch_lease_ns: u64,
 ) {
     let _participant = clock.enter();
     let mut server = DcServer::new(dc);
+    server.set_epoch_lease_ns(epoch_lease_ns);
     let metrics = ServerMetrics::new(&obs, &MSG_KIND_NAMES);
     // endpoint → (reply channel, message counter at last request from that endpoint).
     let mut reply_routes: HashMap<u64, (crate::clock::ClockedSender<ReplyEnvelope>, u64)> =
@@ -521,7 +584,7 @@ fn server_loop(
                     metrics.bytes_in.add(inbound.msg.wire_size(metadata_bytes));
                 }
                 let handled_at = clock.now_ns();
-                let replies = server.handle(inbound);
+                let replies = server.handle_at(inbound, handled_at);
                 let service_ns = clock.now_ns().saturating_sub(handled_at);
                 if enabled {
                     metrics.on_request(msg_kind, phase, service_ns, replies.len() as u64);
@@ -537,6 +600,7 @@ fn server_loop(
                             sent_at_ns: clock.now_ns(),
                             service_ns,
                             phase: r.phase,
+                            epoch: r.epoch,
                             reply: r.reply,
                         });
                     }

@@ -33,7 +33,9 @@ use legostore_obs::{Counter, MetricsSnapshot, Obs};
 use legostore_proto::msg::ProtoReply;
 use legostore_proto::server::{ControlMsg, Inbound};
 use legostore_proto::wire::Frame;
-use legostore_types::{DcId, FaultPlan, FaultState, LinkVerdict, StoreError, StoreResult};
+use legostore_types::{
+    ConfigEpoch, DcId, FaultPlan, FaultState, LinkVerdict, StoreError, StoreResult,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
@@ -59,6 +61,11 @@ pub struct ReplyEnvelope {
     pub service_ns: u64,
     /// Echoed protocol phase.
     pub phase: u8,
+    /// Configuration epoch of the request this reply answers. Clients discard replies
+    /// stamped with an epoch other than the one their current attempt runs in: after a
+    /// reconfiguration redirect the endpoint id alone cannot tell a live reply from a
+    /// straggler solicited before the move.
+    pub epoch: ConfigEpoch,
     /// Reply body.
     pub reply: ProtoReply,
 }
@@ -504,7 +511,7 @@ fn reader_loop(
 ) {
     loop {
         match Frame::read_from(&mut stream) {
-            Ok(Some(Frame::Reply { endpoint, from, service_ns, phase, reply, .. })) => {
+            Ok(Some(Frame::Reply { endpoint, from, service_ns, phase, epoch, reply, .. })) => {
                 let Some(route) = routes.lock().get(&endpoint).cloned() else {
                     continue; // the attempt already finished; discard the straggler
                 };
@@ -517,6 +524,7 @@ fn reader_loop(
                     sent_at_ns: clock.now_ns(),
                     service_ns,
                     phase,
+                    epoch,
                     reply,
                 });
             }

@@ -72,6 +72,8 @@ pub struct AbdPut {
     q2: QuorumTracker,
     max_tag: Tag,
     new_tag: Option<Tag>,
+    /// Distinct servers that answered `KeyNotFound` (see `on_reply` for the quorum rule).
+    not_found: QuorumTracker,
 }
 
 impl AbdPut {
@@ -85,6 +87,7 @@ impl AbdPut {
     ) -> Self {
         let q1 = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
         let q2 = QuorumTracker::new(config.quorums.size(QuorumId::Q2));
+        let not_found = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
         AbdPut {
             key,
             epoch: config.epoch,
@@ -97,7 +100,34 @@ impl AbdPut {
             q2,
             max_tag: Tag::INITIAL,
             new_tag: None,
+            not_found,
         }
+    }
+
+    /// Rebuilds a PUT that already chose its tag in a *previous* configuration epoch so
+    /// it re-enters the new epoch at the write phase with that tag pinned.
+    ///
+    /// This is the cross-epoch analogue of [`AbdPut::resend_widened`]'s tag pinning, and
+    /// just as much a linearizability requirement: when a reconfiguration redirects a
+    /// partially-complete PUT, phase-2 writes carrying the old tag may already have taken
+    /// effect at old-epoch servers and been *transferred* into the new placement. A
+    /// restarted machine would re-query and install the same value under a fresh, higher
+    /// tag — one logical PUT linearizing twice (readers could observe new → old → new).
+    /// Resuming keeps the single linearization point: the new-epoch servers' strictly-
+    /// greater write rule makes the re-sent `(tag, value)` a no-op wherever the transfer
+    /// already delivered it.
+    pub fn resume_write(
+        key: Key,
+        config: Configuration,
+        client_dc: DcId,
+        client_id: ClientId,
+        tag: Tag,
+        value: Value,
+    ) -> Self {
+        let mut put = AbdPut::new(key, config, client_dc, client_id, value);
+        put.phase = 2;
+        put.new_tag = Some(tag);
+        put
     }
 
     /// The tag this PUT will install (available once phase 1 completes).
@@ -118,8 +148,24 @@ impl AbdPut {
         (q.needed(), q.count())
     }
 
-    /// Messages for phase 1 (write-query to quorum Q1).
+    /// Messages for the first phase this machine runs: the write-query for a fresh PUT,
+    /// or the pinned-tag write fan-out for a machine built by [`AbdPut::resume_write`].
     pub fn start(&self) -> Vec<Outbound> {
+        if self.phase >= 2 {
+            let tag = self.new_tag.expect("a resumed PUT carries its pinned tag");
+            return self
+                .config
+                .quorum_for(self.client_dc, QuorumId::Q2)
+                .iter().copied()
+                .map(|to| Outbound {
+                    to,
+                    phase: 2,
+                    key: self.key.clone(),
+                    epoch: self.epoch,
+                    msg: ProtoMsg::AbdWrite { tag, value: self.value.clone() },
+                })
+                .collect();
+        }
         self.config
             .quorum_for(self.client_dc, QuorumId::Q1)
             .iter().copied()
@@ -218,7 +264,18 @@ impl AbdPut {
                 }
             }
             (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
-                OpProgress::Done(OpOutcome::Failed(e))
+                // One key-less server must not veto an operation a quorum can still
+                // serve: a new-placement DC that was crashed or partitioned during the
+                // reconfiguration's write-new round answers `KeyNotFound` even though a
+                // write quorum holds the transferred key. Only a *read quorum* of
+                // `KeyNotFound`s — which intersects every write quorum, so no write
+                // could have completed — proves the key truly does not exist; fewer
+                // are treated as non-replies.
+                if self.not_found.record(from) {
+                    OpProgress::Done(OpOutcome::Failed(e))
+                } else {
+                    OpProgress::Pending
+                }
             }
             _ => OpProgress::Pending,
         }
@@ -242,6 +299,8 @@ pub struct AbdGet {
     best: Option<(Tag, Value)>,
     /// How many phase-1 responders reported each tag (needed for the fast-path test).
     tag_counts: BTreeMap<Tag, usize>,
+    /// Distinct servers that answered `KeyNotFound` (see [`AbdPut`]'s quorum rule).
+    not_found: QuorumTracker,
 }
 
 impl AbdGet {
@@ -262,6 +321,7 @@ impl AbdGet {
             q2: QuorumTracker::new(q2),
             best: None,
             tag_counts: BTreeMap::new(),
+            not_found: QuorumTracker::new(q1),
         }
     }
 
@@ -391,7 +451,12 @@ impl AbdGet {
                 }
             }
             (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
-                OpProgress::Done(OpOutcome::Failed(e))
+                // Authoritative only from a read quorum; see [`AbdPut::on_reply`].
+                if self.not_found.record(from) {
+                    OpProgress::Done(OpOutcome::Failed(e))
+                } else {
+                    OpProgress::Pending
+                }
             }
             _ => OpProgress::Pending,
         }
@@ -617,6 +682,41 @@ mod tests {
     }
 
     #[test]
+    fn resumed_put_starts_at_the_write_phase_with_the_pinned_tag() {
+        let config = config3();
+        let pinned = Tag::new(4, ClientId(6));
+        let mut put = AbdPut::resume_write(
+            Key::from("k"),
+            config.clone(),
+            DcId(0),
+            ClientId(6),
+            pinned,
+            Value::from("moved"),
+        );
+        // No query round: the machine opens directly with the pinned write.
+        let msgs = put.start();
+        assert!(!msgs.is_empty());
+        for m in &msgs {
+            assert_eq!(m.phase, 2);
+            let ProtoMsg::AbdWrite { tag, value } = &m.msg else { panic!("{m:?}") };
+            assert_eq!(*tag, pinned);
+            assert_eq!(value, &Value::from("moved"));
+        }
+        // Replaying the pinned write at a server that already received it via the
+        // reconfiguration transfer is a no-op Ack — no second linearization point.
+        let mut transferred = AbdKeyState::new(pinned, Value::from("moved"));
+        assert_eq!(transferred.handle(&msgs[0].msg), ProtoReply::Ack);
+        assert_eq!(transferred.tag, pinned);
+        // Acks complete the PUT under the original tag.
+        assert_eq!(put.on_reply(DcId(0), 2, ProtoReply::Ack), OpProgress::Pending);
+        let OpProgress::Done(OpOutcome::PutOk { tag }) = put.on_reply(DcId(1), 2, ProtoReply::Ack)
+        else {
+            panic!()
+        };
+        assert_eq!(tag, pinned);
+    }
+
+    #[test]
     fn put_chooses_tag_above_max_observed() {
         let config = config3();
         let mut put = AbdPut::new(Key::from("k"), config, DcId(0), ClientId(3), Value::from("x"));
@@ -659,15 +759,18 @@ mod tests {
     }
 
     #[test]
-    fn key_not_found_error_fails_operation() {
+    fn key_not_found_fails_only_once_a_read_quorum_agrees() {
         let config = config3();
         let mut get = AbdGet::new(Key::from("k"), config, DcId(0), false);
         get.start();
-        let progress = get.on_reply(
-            DcId(0),
-            1,
-            ProtoReply::Error(StoreError::KeyNotFound(Key::from("k"))),
-        );
+        let nf = ProtoReply::Error(StoreError::KeyNotFound(Key::from("k")));
+        // A single key-less server (e.g. a new-placement DC that missed the transfer's
+        // write round) is a non-reply, not a veto.
+        assert_eq!(get.on_reply(DcId(0), 1, nf.clone()), OpProgress::Pending);
+        // The same server repeating itself still is not a quorum.
+        assert_eq!(get.on_reply(DcId(0), 1, nf.clone()), OpProgress::Pending);
+        // A read quorum (2 of 3) agreeing the key is absent is authoritative.
+        let progress = get.on_reply(DcId(1), 1, nf);
         assert!(matches!(progress, OpProgress::Done(OpOutcome::Failed(_))));
     }
 }

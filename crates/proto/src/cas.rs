@@ -34,6 +34,13 @@ pub struct CasKeyState {
     /// Version history: tag → (codeword symbol if stored locally, label). Symbols are
     /// shared [`Bytes`] handles, so storing a received shard never copies it.
     triples: BTreeMap<Tag, (Option<Bytes>, Label)>,
+    /// The tag this state was installed with. For a state installed by a
+    /// reconfiguration transfer this is the transferred `highest_tag`: every version
+    /// strictly below it was already superseded in the *old* epoch, so requests about
+    /// older tags (stragglers from before the move, or a stale second controller) are
+    /// acknowledged without storing anything — the floor is the server-side half of the
+    /// cross-epoch dedup invariant.
+    transfer_floor: Tag,
 }
 
 impl CasKeyState {
@@ -41,7 +48,7 @@ impl CasKeyState {
     pub fn new(tag: Tag, shard: Option<Bytes>) -> Self {
         let mut triples = BTreeMap::new();
         triples.insert(tag, (shard, Label::Fin));
-        CasKeyState { triples }
+        CasKeyState { triples, transfer_floor: tag }
     }
 
     /// Highest tag labeled `fin`, if any.
@@ -74,33 +81,44 @@ impl CasKeyState {
                 None => ProtoReply::TagOnly { tag: Tag::INITIAL },
             },
             ProtoMsg::CasPreWrite { tag, shard } => {
-                self.triples
-                    .entry(*tag)
-                    .or_insert_with(|| (Some(shard.clone()), Label::Pre));
+                if *tag >= self.transfer_floor {
+                    self.triples
+                        .entry(*tag)
+                        .or_insert_with(|| (Some(shard.clone()), Label::Pre));
+                }
                 ProtoReply::Ack
             }
             ProtoMsg::CasFinalizeWrite { tag } => {
-                match self.triples.get_mut(tag) {
-                    Some((_, label)) => *label = Label::Fin,
-                    None => {
-                        self.triples.insert(*tag, (None, Label::Fin));
+                if *tag >= self.transfer_floor {
+                    match self.triples.get_mut(tag) {
+                        Some((_, label)) => *label = Label::Fin,
+                        None => {
+                            self.triples.insert(*tag, (None, Label::Fin));
+                        }
                     }
                 }
                 ProtoReply::Ack
             }
-            ProtoMsg::CasFinalizeRead { tag } => match self.triples.get_mut(tag) {
-                Some((shard, label)) => {
-                    *label = Label::Fin;
-                    ProtoReply::CasShard {
-                        tag: *tag,
-                        shard: shard.clone(),
+            ProtoMsg::CasFinalizeRead { tag } => {
+                if *tag < self.transfer_floor {
+                    // A pre-floor version was superseded before the transfer; answer
+                    // without resurrecting a metadata-only triple for it.
+                    return ProtoReply::CasShard { tag: *tag, shard: None };
+                }
+                match self.triples.get_mut(tag) {
+                    Some((shard, label)) => {
+                        *label = Label::Fin;
+                        ProtoReply::CasShard {
+                            tag: *tag,
+                            shard: shard.clone(),
+                        }
+                    }
+                    None => {
+                        self.triples.insert(*tag, (None, Label::Fin));
+                        ProtoReply::CasShard { tag: *tag, shard: None }
                     }
                 }
-                None => {
-                    self.triples.insert(*tag, (None, Label::Fin));
-                    ProtoReply::CasShard { tag: *tag, shard: None }
-                }
-            },
+            }
             other => ProtoReply::Error(StoreError::Internal(format!(
                 "CAS server cannot handle {other:?}"
             ))),
@@ -146,6 +164,8 @@ pub struct CasPut {
     q3: QuorumTracker,
     max_tag: Tag,
     new_tag: Option<Tag>,
+    /// Distinct servers that answered `KeyNotFound` (see [`crate::AbdPut`]'s quorum rule).
+    not_found: QuorumTracker,
     /// Memoized codeword of `value` (a pure function of `(value, n, k)`): computed at
     /// the first phase-2 send and reused by every timeout re-send.
     encoded: Option<Vec<Shard>>,
@@ -163,6 +183,7 @@ impl CasPut {
         let q1 = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
         let q2 = QuorumTracker::new(config.quorums.size(QuorumId::Q2));
         let q3 = QuorumTracker::new(config.quorums.size(QuorumId::Q3));
+        let not_found = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
         CasPut {
             key,
             epoch: config.epoch,
@@ -177,7 +198,34 @@ impl CasPut {
             max_tag: Tag::INITIAL,
             new_tag: None,
             encoded: None,
+            not_found,
         }
+    }
+
+    /// Rebuilds a PUT that already chose its tag in a *previous* configuration epoch so
+    /// it re-enters the new epoch at the pre-write phase with that tag pinned.
+    ///
+    /// Cross-epoch analogue of [`CasPut::resend_widened`]'s tag pinning (see
+    /// [`crate::AbdPut::resume_write`] for the full linearizability argument). The value
+    /// is re-encoded under the *new* configuration's `(n, k)` code — the old epoch's
+    /// symbols are useless in a placement with different hosts or code parameters — but
+    /// the tag survives the move, so wherever the transfer already delivered this
+    /// version the re-sent pre-write/finalize pair is absorbed idempotently.
+    pub fn resume_write(
+        key: Key,
+        config: Configuration,
+        client_dc: DcId,
+        client_id: ClientId,
+        tag: Tag,
+        value: Value,
+    ) -> Self {
+        let encoded = encode_value(value.as_bytes(), config.n, config.k)
+            .expect("configuration was validated");
+        let mut put = CasPut::new(key, config, client_dc, client_id, value);
+        put.phase = 2;
+        put.new_tag = Some(tag);
+        put.encoded = Some(encoded);
+        put
     }
 
     /// The tag this PUT will install (available once phase 1 completes).
@@ -200,8 +248,14 @@ impl CasPut {
         (q.needed(), q.count())
     }
 
-    /// Messages for phase 1 (query).
+    /// Messages for the first phase this machine runs: the query for a fresh PUT, or
+    /// the pinned-tag pre-write fan-out for a machine built by [`CasPut::resume_write`].
     pub fn start(&self) -> Vec<Outbound> {
+        if self.phase >= 2 {
+            let tag = self.new_tag.expect("a resumed PUT carries its pinned tag");
+            let shards = self.encoded.as_deref().expect("resume_write pre-encodes");
+            return self.pre_write_messages_to(tag, shards);
+        }
         self.config
             .quorum_for(self.client_dc, QuorumId::Q1)
             .iter().copied()
@@ -215,14 +269,7 @@ impl CasPut {
             .collect()
     }
 
-    fn pre_write_messages(&mut self, tag: Tag) -> Vec<Outbound> {
-        if self.encoded.is_none() {
-            self.encoded = Some(
-                encode_value(self.value.as_bytes(), self.config.n, self.config.k)
-                    .expect("configuration was validated"),
-            );
-        }
-        let shards = self.encoded.as_deref().expect("filled above");
+    fn pre_write_messages_to(&self, tag: Tag, shards: &[Shard]) -> Vec<Outbound> {
         self.config
             .quorum_for(self.client_dc, QuorumId::Q2)
             .iter().copied()
@@ -240,6 +287,17 @@ impl CasPut {
                 })
             })
             .collect()
+    }
+
+    fn pre_write_messages(&mut self, tag: Tag) -> Vec<Outbound> {
+        if self.encoded.is_none() {
+            self.encoded = Some(
+                encode_value(self.value.as_bytes(), self.config.n, self.config.k)
+                    .expect("configuration was validated"),
+            );
+        }
+        let shards = self.encoded.as_deref().expect("filled above");
+        self.pre_write_messages_to(tag, shards)
     }
 
     fn finalize_messages(&self, tag: Tag) -> Vec<Outbound> {
@@ -319,7 +377,12 @@ impl CasPut {
                 }
             }
             (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
-                OpProgress::Done(OpOutcome::Failed(e))
+                // Authoritative only from a read quorum; see [`crate::AbdPut::on_reply`].
+                if self.not_found.record(from) {
+                    OpProgress::Done(OpOutcome::Failed(e))
+                } else {
+                    OpProgress::Pending
+                }
             }
             _ => OpProgress::Pending,
         }
@@ -344,6 +407,8 @@ pub struct CasGet {
     phase2_targets: usize,
     /// Client-side cache from a previous GET: `(tag, value)` (the optimized-GET fast path).
     cache: Option<(Tag, Value)>,
+    /// Distinct servers that answered `KeyNotFound` (see [`crate::AbdPut`]'s quorum rule).
+    not_found: QuorumTracker,
 }
 
 impl CasGet {
@@ -357,6 +422,7 @@ impl CasGet {
     ) -> Self {
         let q1 = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
         let q4 = QuorumTracker::new(config.quorums.size(QuorumId::Q4));
+        let not_found = QuorumTracker::new(config.quorums.size(QuorumId::Q1));
         CasGet {
             key,
             epoch: config.epoch,
@@ -370,6 +436,7 @@ impl CasGet {
             shards: Vec::new(),
             phase2_targets: 0,
             cache,
+            not_found,
         }
     }
 
@@ -526,7 +593,12 @@ impl CasGet {
                 }
             }
             (_, ProtoReply::Error(e)) if matches!(e, StoreError::KeyNotFound(_)) => {
-                OpProgress::Done(OpOutcome::Failed(e))
+                // Authoritative only from a read quorum; see [`crate::AbdPut::on_reply`].
+                if self.not_found.record(from) {
+                    OpProgress::Done(OpOutcome::Failed(e))
+                } else {
+                    OpProgress::Pending
+                }
             }
             _ => OpProgress::Pending,
         }
@@ -654,6 +726,84 @@ mod tests {
         assert!(refins
             .iter()
             .all(|m| matches!(m.msg, ProtoMsg::CasFinalizeWrite { tag: t } if t == tag)));
+    }
+
+    #[test]
+    fn resumed_put_starts_at_pre_write_with_pinned_tag_and_fresh_code() {
+        // The old epoch ran CAS(5,3); the new placement runs CAS(4,1). The resumed PUT
+        // must keep its old tag but encode under the new code.
+        let new_config = Configuration::cas_default(dcs(4), 1, 1);
+        let pinned = Tag::new(3, ClientId(2));
+        let payload = Value::filler(700);
+        let mut put = CasPut::resume_write(
+            Key::from("k"),
+            new_config.clone(),
+            DcId(0),
+            ClientId(2),
+            pinned,
+            payload.clone(),
+        );
+        let msgs = put.start();
+        assert!(!msgs.is_empty());
+        for m in &msgs {
+            assert_eq!(m.phase, 2);
+            let ProtoMsg::CasPreWrite { tag, shard } = &m.msg else { panic!("{m:?}") };
+            assert_eq!(*tag, pinned);
+            assert_eq!(shard.len(), legostore_erasure::shard_len(700, new_config.k));
+        }
+        // Drive it to completion against servers seeded by a transfer at the same tag:
+        // the pre-write is absorbed idempotently and the PUT finishes under `pinned`.
+        let mut servers: BTreeMap<DcId, CasKeyState> = new_config
+            .dcs
+            .iter()
+            .map(|d| {
+                let idx = new_config.symbol_index(*d).unwrap();
+                let shards = encode_value(payload.as_bytes(), new_config.n, new_config.k).unwrap();
+                (*d, CasKeyState::new(pinned, Some(shards[idx].data.clone())))
+            })
+            .collect();
+        let mut inflight = msgs;
+        let outcome = loop {
+            let out = inflight.remove(0);
+            let reply = servers.get_mut(&out.to).unwrap().handle(&out.msg);
+            match put.on_reply(out.to, out.phase, reply) {
+                OpProgress::Pending => {}
+                OpProgress::Send(more) => inflight.extend(more),
+                OpProgress::Done(outcome) => break outcome,
+            }
+            assert!(!inflight.is_empty(), "protocol stalled");
+        };
+        assert_eq!(outcome, OpOutcome::PutOk { tag: pinned });
+        for s in servers.values() {
+            assert_eq!(s.highest_fin(), Some(pinned));
+            assert_eq!(s.version_count(), 1, "replay must not grow the history");
+        }
+    }
+
+    #[test]
+    fn transfer_floor_absorbs_pre_floor_stragglers() {
+        // A transferred state starts at the moved `highest_tag`; requests about older
+        // tags (old-epoch stragglers) are acknowledged but store nothing.
+        let floor = Tag::new(5, ClientId(1));
+        let mut s = CasKeyState::new(floor, Some(vec![1u8; 8].into()));
+        let stale = Tag::new(3, ClientId(9));
+        assert_eq!(
+            s.handle(&ProtoMsg::CasPreWrite { tag: stale, shard: vec![2u8; 8].into() }),
+            ProtoReply::Ack
+        );
+        assert_eq!(s.handle(&ProtoMsg::CasFinalizeWrite { tag: stale }), ProtoReply::Ack);
+        assert_eq!(
+            s.handle(&ProtoMsg::CasFinalizeRead { tag: stale }),
+            ProtoReply::CasShard { tag: stale, shard: None }
+        );
+        assert_eq!(s.version_count(), 1, "pre-floor traffic must not grow the history");
+        assert_eq!(s.highest_fin(), Some(floor));
+        // At or above the floor everything behaves as before.
+        let newer = Tag::new(6, ClientId(2));
+        s.handle(&ProtoMsg::CasPreWrite { tag: newer, shard: vec![3u8; 8].into() });
+        s.handle(&ProtoMsg::CasFinalizeWrite { tag: newer });
+        assert_eq!(s.highest_fin(), Some(newer));
+        assert_eq!(s.version_count(), 2);
     }
 
     #[test]

@@ -49,9 +49,14 @@ pub enum ProtoMsg {
 
     // ---- Reconfiguration (controller → old/new configuration servers) ----
     /// Signals a reconfiguration and doubles as the controller's internal read request.
+    ///
+    /// Carries the full target configuration (not just its epoch) so a server that
+    /// blocks on this query can still fail its deferred clients over to the new
+    /// placement if the controller crashes before `FinishReconfig` arrives — the
+    /// epoch-lease expiry path needs a concrete configuration to hand out.
     ReconfigQuery {
-        /// Epoch of the configuration being installed.
-        new_epoch: ConfigEpoch,
+        /// The configuration being installed.
+        new_config: Box<Configuration>,
     },
     /// CAS-only: ask for the codeword symbol of `tag` (controller collection phase).
     ReconfigGet {
@@ -266,7 +271,12 @@ mod tests {
         assert_eq!(m.wire_size(100), 100);
         let m = ProtoMsg::CasFinalizeWrite { tag: Tag::INITIAL };
         assert_eq!(m.wire_size(100), 100);
-        let m = ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) };
+        let m = ProtoMsg::ReconfigQuery {
+            new_config: Box::new(Configuration::abd_majority(
+                vec![DcId(0), DcId(1), DcId(2)],
+                1,
+            )),
+        };
         assert_eq!(m.wire_size(64), 64);
     }
 

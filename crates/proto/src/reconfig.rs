@@ -167,14 +167,41 @@ impl ReconfigController {
                 key: self.key.clone(),
                 epoch: self.old.epoch,
                 msg: ProtoMsg::ReconfigQuery {
-                    new_epoch: self.new.epoch,
+                    new_config: Box::new(self.new.clone()),
                 },
             })
             .collect()
     }
 
+    /// Re-emits the messages of the round currently awaited, for timeout-driven
+    /// resends. Replies are deduplicated per data center by the quorum trackers and
+    /// servers handle every round idempotently (duplicate queries re-answer, duplicate
+    /// installs merge by tag), so re-driving a round is always safe.
+    pub fn resend_current_round(&mut self) -> Vec<Outbound> {
+        match self.phase {
+            ControllerPhase::Query => self.start(),
+            ControllerPhase::Collect => self.collect_messages(),
+            ControllerPhase::WriteNew => self.write_messages(),
+            ControllerPhase::Done => Vec::new(),
+        }
+    }
+
+    /// 1-based number of the round currently awaited, matching the `round` field of
+    /// [`StoreError::ReconfigStalled`]: 1 = query, 2 = collect, 3 = write-new,
+    /// 4 = finish.
+    pub fn round_number(&self) -> u8 {
+        match self.phase {
+            ControllerPhase::Query => 1,
+            ControllerPhase::Collect => 2,
+            ControllerPhase::WriteNew => 3,
+            ControllerPhase::Done => 4,
+        }
+    }
+
     fn collect_messages(&mut self) -> Vec<Outbound> {
-        self.collect_targets = self.old.dcs.len();
+        // Accumulates across resends: "every collect response is in" is judged
+        // against all collect messages ever sent, not just the first round's.
+        self.collect_targets += self.old.dcs.len();
         self.old
             .dcs
             .iter()
@@ -301,7 +328,11 @@ impl ReconfigController {
                     if tag == self.highest_tag {
                         if let Some(data) = shard {
                             if let Some(idx) = self.old.symbol_index(from) {
-                                self.shards.push(Shard::new(idx, data));
+                                // Resent rounds can produce duplicate replies; a
+                                // repeated symbol index must not count toward `k`.
+                                if !self.shards.iter().any(|s| s.index == idx) {
+                                    self.shards.push(Shard::new(idx, data));
+                                }
                             }
                         }
                     }
@@ -311,6 +342,9 @@ impl ReconfigController {
                 if self.collect_quorum.reached() && enough_shards {
                     match decode_value(&self.shards, self.old.n, self.old.k) {
                         Ok(bytes) => {
+                            // A transiently-set decode error (all responses in, too few
+                            // shards) is cleared once a resend gathered enough.
+                            self.error = None;
                             self.value = Some(Value::from(bytes));
                             self.phase = ControllerPhase::WriteNew;
                             ControllerProgress::Send(self.write_messages())

@@ -75,6 +75,11 @@ pub struct Reply {
     pub phase: u8,
     /// Key the reply concerns.
     pub key: Key,
+    /// Echo of [`Inbound::epoch`] — the epoch the *request* was addressed to. Clients
+    /// that were redirected to a newer configuration use this to discard stragglers
+    /// from the epoch they abandoned; attempt ids alone cannot tell a slow same-epoch
+    /// reply from a reply minted under a retired configuration.
+    pub epoch: ConfigEpoch,
     /// Reply body.
     pub reply: ProtoReply,
 }
@@ -111,10 +116,17 @@ pub enum KeyStatus {
     /// Serving client operations.
     Active,
     /// A `ReconfigQuery` was received; client operations are deferred until
-    /// `FinishReconfig`.
+    /// `FinishReconfig` — or until the epoch lease expires (controller crash), at
+    /// which point the key re-activates in the old epoch and serves the parked
+    /// requests (see [`DcServer::set_epoch_lease_ns`]).
     Blocked {
         /// Requests deferred while blocked.
         deferred: Vec<Inbound>,
+        /// Server-clock nanoseconds when the key blocked (the lease starts here; a
+        /// duplicate `ReconfigQuery` from a controller retry re-arms it).
+        since_ns: u64,
+        /// Target configuration carried by the blocking `ReconfigQuery`.
+        new_config: Box<Configuration>,
     },
     /// The key moved to a new configuration; clients are redirected.
     Retired {
@@ -132,6 +144,11 @@ pub struct KeyServerState {
     pub proto: ProtoState,
     /// Serving status.
     pub status: KeyStatus,
+    /// Target epoch of a reconfiguration attempt whose lease expired here. A late
+    /// `FinishReconfig` for this epoch is rejected (its controller's view of our tags
+    /// is stale — writes were accepted after the lease expired), unless a fresh
+    /// `ReconfigQuery` re-arms the attempt first.
+    pub aborted_target: Option<ConfigEpoch>,
 }
 
 impl KeyServerState {
@@ -149,6 +166,11 @@ pub struct DcServer {
     keys: HashMap<Key, BTreeMap<ConfigEpoch, KeyServerState>>,
     /// When true the server drops every message (models a DC failure).
     failed: bool,
+    /// Epoch lease: how long a key may stay `Blocked` awaiting `FinishReconfig` before
+    /// the server gives up on the controller and re-activates the old epoch.
+    /// `u64::MAX` disables expiry (the default — hosting runtimes opt in with a lease
+    /// derived from their clock and the controller's deadline).
+    lease_ns: u64,
 }
 
 impl DcServer {
@@ -158,7 +180,21 @@ impl DcServer {
             dc,
             keys: HashMap::new(),
             failed: false,
+            lease_ns: u64::MAX,
         }
+    }
+
+    /// Sets the epoch lease (nanoseconds on the hosting runtime's clock, the same
+    /// clock whose readings are passed to [`DcServer::handle_at`]).
+    ///
+    /// Safety requirement: the lease must be **no shorter than the controller's
+    /// overall `reconfigure` deadline**. A server's lease starts when the controller's
+    /// query arrives — after the controller started its own timer — so with
+    /// `lease ≥ deadline` a lease can only expire once that controller has given up,
+    /// and the late-`FinishReconfig` rejection below can never fire against a
+    /// still-live single controller.
+    pub fn set_epoch_lease_ns(&mut self, lease_ns: u64) {
+        self.lease_ns = lease_ns;
     }
 
     /// The data center this server runs in.
@@ -214,6 +250,7 @@ impl DcServer {
                 config,
                 proto,
                 status: KeyStatus::Active,
+                aborted_target: None,
             },
         );
     }
@@ -266,62 +303,161 @@ impl DcServer {
     }
 
     /// Handles one inbound request, producing zero or more replies.
+    ///
+    /// Time-free convenience wrapper around [`DcServer::handle_at`]: the server clock
+    /// reads 0 forever, so epoch leases never expire. Unit tests and callers that do
+    /// not model controller crashes use this.
     pub fn handle(&mut self, inbound: Inbound) -> Vec<Reply> {
+        self.handle_at(inbound, 0)
+    }
+
+    /// Handles one inbound request at server-clock time `now_ns`, producing zero or
+    /// more replies.
+    ///
+    /// Before dispatching, expired epoch leases across *all* hosted keys are
+    /// collected: any key still `Blocked` past the lease re-activates in its old
+    /// epoch and its deferred requests are served (their replies are returned
+    /// alongside the current request's). Expiry is driven by message arrival, which
+    /// is sufficient: a deferred client's own timeout resend is itself a message.
+    pub fn handle_at(&mut self, inbound: Inbound, now_ns: u64) -> Vec<Reply> {
         if self.failed {
             return Vec::new();
         }
+        let mut replies = self.expire_leases(now_ns);
         let key = inbound.key.clone();
         // ReconfigWrite installs a brand-new epoch (possibly for a key this DC did not host
         // before), so treat it before the existence checks.
         if let ProtoMsg::ReconfigWrite { tag, data, config } = &inbound.msg {
-            self.install_key(key.clone(), (**config).clone(), *tag, data.clone());
-            return vec![Reply {
+            // Idempotent install: if this epoch already exists here (controller round
+            // resend, or a second controller attempt racing client traffic that has
+            // already started writing in the new epoch), merge by tag through the
+            // protocol state machine instead of clobbering — ABD ignores a transferred
+            // tag at or below its current one, CAS inserts the version only if absent.
+            let existing = self
+                .keys
+                .get_mut(&key)
+                .and_then(|epochs| epochs.get_mut(&config.epoch))
+                .filter(|state| state.config.protocol == config.protocol);
+            match (existing, data) {
+                (Some(state), ReconfigPayload::Value(v)) => {
+                    state.proto.handle(&ProtoMsg::AbdWrite { tag: *tag, value: v.clone() });
+                }
+                (Some(state), ReconfigPayload::Shard(s)) => {
+                    state.proto.handle(&ProtoMsg::CasPreWrite { tag: *tag, shard: s.clone() });
+                    state.proto.handle(&ProtoMsg::CasFinalizeWrite { tag: *tag });
+                }
+                (None, _) => {
+                    self.install_key(key.clone(), (**config).clone(), *tag, data.clone());
+                }
+            }
+            replies.push(Reply {
                 to: inbound.from,
                 msg_id: inbound.msg_id,
                 phase: inbound.phase,
                 key,
+                epoch: inbound.epoch,
                 reply: ProtoReply::Ack,
-            }];
+            });
+            return replies;
         }
         let Some(epochs) = self.keys.get_mut(&key) else {
-            return vec![Reply {
+            replies.push(Reply {
                 to: inbound.from,
                 msg_id: inbound.msg_id,
                 phase: inbound.phase,
                 key: key.clone(),
+                epoch: inbound.epoch,
                 reply: ProtoReply::Error(StoreError::KeyNotFound(key)),
-            }];
+            });
+            return replies;
         };
         let latest_epoch = *epochs.keys().next_back().expect("non-empty epoch map");
         // A client using an older epoch than anything we host is redirected to the newest
         // configuration we know about.
         if inbound.epoch < *epochs.keys().next().expect("non-empty") {
             let newest = epochs.get(&latest_epoch).expect("present");
-            return vec![Reply {
+            replies.push(Reply {
                 to: inbound.from,
                 msg_id: inbound.msg_id,
                 phase: inbound.phase,
                 key,
+                epoch: inbound.epoch,
                 reply: ProtoReply::OperationFail {
                     new_config: Box::new(newest.config.clone()),
                 },
-            }];
+            });
+            return replies;
         }
         let Some(state) = epochs.get_mut(&inbound.epoch) else {
             // The sender is ahead of us (it knows a newer epoch than we host). This can only
             // happen for client traffic racing a reconfiguration; ask it to refresh.
-            return vec![Reply {
+            replies.push(Reply {
                 to: inbound.from,
                 msg_id: inbound.msg_id,
                 phase: inbound.phase,
                 key,
+                epoch: inbound.epoch,
                 reply: ProtoReply::Error(StoreError::StaleConfiguration {
                     observed: inbound.epoch,
                     current: latest_epoch,
                 }),
-            }];
+            });
+            return replies;
         };
-        Self::handle_at_state(self.dc, state, inbound)
+        let finished = matches!(inbound.msg, ProtoMsg::FinishReconfig { .. });
+        replies.extend(Self::handle_at_state(self.dc, state, inbound, now_ns));
+        if finished {
+            Self::prune_retired(epochs);
+        }
+        replies
+    }
+
+    /// Sweeps every hosted key for an expired epoch lease, re-activating the old
+    /// epoch and serving the parked requests. Returns the replies for those requests.
+    pub fn expire_leases(&mut self, now_ns: u64) -> Vec<Reply> {
+        if self.lease_ns == u64::MAX {
+            return Vec::new();
+        }
+        let mut replies = Vec::new();
+        for epochs in self.keys.values_mut() {
+            for state in epochs.values_mut() {
+                let KeyStatus::Blocked { since_ns, new_config, .. } = &state.status else {
+                    continue;
+                };
+                if now_ns.saturating_sub(*since_ns) < self.lease_ns {
+                    continue;
+                }
+                // The controller went silent past the lease: its FinishReconfig (if it
+                // ever arrives) is now rejected via `aborted_target`, so re-activating
+                // the old epoch and accepting writes again is safe — the new placement
+                // was never announced to any client (metadata updates only on finish).
+                let target = new_config.epoch;
+                let deferred = match std::mem::replace(&mut state.status, KeyStatus::Active) {
+                    KeyStatus::Blocked { deferred, .. } => deferred,
+                    _ => Vec::new(),
+                };
+                state.aborted_target = Some(target);
+                for parked in deferred {
+                    replies.extend(Self::handle_at_state(self.dc, state, parked, now_ns));
+                }
+            }
+        }
+        replies
+    }
+
+    /// Bounds per-key epoch history: once a `FinishReconfig` retires an epoch, drop
+    /// every *retired* epoch older than the most recent retired one. At most two
+    /// epochs per key survive steady state (the active one and its predecessor, kept
+    /// so a controller retry can still re-read a half-finished transfer).
+    fn prune_retired(epochs: &mut BTreeMap<ConfigEpoch, KeyServerState>) {
+        while epochs.len() > 2 {
+            let oldest = *epochs.keys().next().expect("non-empty");
+            if matches!(epochs[&oldest].status, KeyStatus::Retired { .. }) {
+                epochs.remove(&oldest);
+            } else {
+                break;
+            }
+        }
     }
 
     fn reply_of(inbound: &Inbound, reply: ProtoReply) -> Reply {
@@ -330,24 +466,56 @@ impl DcServer {
             msg_id: inbound.msg_id,
             phase: inbound.phase,
             key: inbound.key.clone(),
+            epoch: inbound.epoch,
             reply,
         }
     }
 
-    fn handle_at_state(_dc: DcId, state: &mut KeyServerState, inbound: Inbound) -> Vec<Reply> {
+    fn handle_at_state(
+        _dc: DcId,
+        state: &mut KeyServerState,
+        inbound: Inbound,
+        now_ns: u64,
+    ) -> Vec<Reply> {
         match &mut state.status {
-            KeyStatus::Retired { new_config } => {
-                vec![Self::reply_of(
-                    &inbound,
-                    ProtoReply::OperationFail {
-                        new_config: new_config.clone(),
-                    },
-                )]
-            }
-            KeyStatus::Active => match &inbound.msg {
+            KeyStatus::Retired { new_config } => match &inbound.msg {
+                // A retired epoch still answers the controller's transfer reads: its
+                // state is frozen (no writes after retirement), so a second controller
+                // attempt can re-read a half-finished move through the servers the
+                // first attempt already retired.
                 ProtoMsg::ReconfigQuery { .. } => {
                     let reply = Self::reconfig_query_reply(state);
-                    state.status = KeyStatus::Blocked { deferred: Vec::new() };
+                    vec![Self::reply_of(&inbound, reply)]
+                }
+                ProtoMsg::ReconfigGet { tag } => {
+                    let tag = *tag;
+                    let reply = state.proto.handle(&ProtoMsg::CasFinalizeRead { tag });
+                    vec![Self::reply_of(&inbound, reply)]
+                }
+                // Duplicate finish (controller resend): idempotent acknowledgement.
+                ProtoMsg::FinishReconfig { .. } => {
+                    vec![Self::reply_of(&inbound, ProtoReply::Ack)]
+                }
+                _ => {
+                    vec![Self::reply_of(
+                        &inbound,
+                        ProtoReply::OperationFail {
+                            new_config: new_config.clone(),
+                        },
+                    )]
+                }
+            },
+            KeyStatus::Active => match &inbound.msg {
+                ProtoMsg::ReconfigQuery { new_config } => {
+                    let new_config = new_config.clone();
+                    let reply = Self::reconfig_query_reply(state);
+                    // A fresh query re-arms an attempt whose lease expired here.
+                    state.aborted_target = None;
+                    state.status = KeyStatus::Blocked {
+                        deferred: Vec::new(),
+                        since_ns: now_ns,
+                        new_config,
+                    };
                     vec![Self::reply_of(&inbound, reply)]
                 }
                 ProtoMsg::ReconfigGet { tag } => {
@@ -355,6 +523,18 @@ impl DcServer {
                     vec![Self::reply_of(&inbound, reply)]
                 }
                 ProtoMsg::FinishReconfig { highest_tag, new_config } => {
+                    if state.aborted_target == Some(new_config.epoch) {
+                        // The lease for this attempt expired and writes were accepted
+                        // since; the controller's transferred snapshot is stale.
+                        // Retiring now could lose those writes, so refuse.
+                        return vec![Self::reply_of(
+                            &inbound,
+                            ProtoReply::Error(StoreError::ReconfigStalled {
+                                epoch: new_config.epoch,
+                                round: 4,
+                            }),
+                        )];
+                    }
                     let (ht, nc) = (*highest_tag, new_config.clone());
                     Self::finish_reconfig(state, ht, nc, &inbound)
                 }
@@ -363,14 +543,17 @@ impl DcServer {
                     vec![Self::reply_of(&inbound, reply)]
                 }
             },
-            KeyStatus::Blocked { deferred } => match &inbound.msg {
+            KeyStatus::Blocked { deferred, since_ns, new_config } => match &inbound.msg {
                 ProtoMsg::ReconfigGet { tag } => {
                     let tag = *tag;
                     let reply = state.proto.handle(&ProtoMsg::CasFinalizeRead { tag });
                     vec![Self::reply_of(&inbound, reply)]
                 }
-                ProtoMsg::ReconfigQuery { .. } => {
-                    // Duplicate query (controller retry): answer it again.
+                ProtoMsg::ReconfigQuery { new_config: target } => {
+                    // Duplicate query (controller retry): answer it again and re-arm
+                    // the lease — the controller is demonstrably alive.
+                    *since_ns = now_ns;
+                    *new_config = target.clone();
                     let reply = Self::reconfig_query_reply(state);
                     vec![Self::reply_of(&inbound, reply)]
                 }
@@ -413,7 +596,7 @@ impl DcServer {
                 new_config: new_config.clone(),
             },
         ) {
-            KeyStatus::Blocked { deferred } => deferred,
+            KeyStatus::Blocked { deferred, .. } => deferred,
             _ => Vec::new(),
         };
         let mut replies = Vec::with_capacity(deferred.len() + 1);
@@ -532,6 +715,13 @@ mod tests {
         s
     }
 
+    /// A `ReconfigQuery` announcing a move to an ABD configuration at `epoch`.
+    fn reconfig_query(epoch: u64) -> ProtoMsg {
+        let mut c = Configuration::abd_majority(dcs(3), 1);
+        c.epoch = ConfigEpoch(epoch);
+        ProtoMsg::ReconfigQuery { new_config: Box::new(c) }
+    }
+
     #[test]
     fn unknown_key_returns_not_found() {
         let mut s = DcServer::new(DcId(0));
@@ -603,11 +793,7 @@ mod tests {
     fn reconfig_query_blocks_and_finish_flushes() {
         let mut s = abd_server_with_key();
         // Controller announces a reconfiguration.
-        let replies = s.handle(inbound(
-            1,
-            ConfigEpoch(0),
-            ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) },
-        ));
+        let replies = s.handle(inbound(1, ConfigEpoch(0), reconfig_query(1)));
         assert_eq!(replies.len(), 1);
         assert!(matches!(replies[0].reply, ProtoReply::AbdTagValue { .. }));
 
@@ -650,7 +836,7 @@ mod tests {
     #[test]
     fn deferred_write_with_higher_tag_is_failed_over() {
         let mut s = abd_server_with_key();
-        s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) }));
+        s.handle(inbound(1, ConfigEpoch(0), reconfig_query(1)));
         s.handle(inbound(
             2,
             ConfigEpoch(0),
@@ -665,6 +851,127 @@ mod tests {
         ));
         let write_reply = replies.iter().find(|r| r.msg_id == 2).unwrap();
         assert!(matches!(write_reply.reply, ProtoReply::OperationFail { .. }));
+    }
+
+    #[test]
+    fn epoch_lease_expiry_reactivates_and_serves_deferred() {
+        let mut s = abd_server_with_key();
+        s.set_epoch_lease_ns(1_000_000);
+        s.handle_at(inbound(1, ConfigEpoch(0), reconfig_query(1)), 0);
+        let write = inbound(
+            2,
+            ConfigEpoch(0),
+            ProtoMsg::AbdWrite { tag: Tag::new(1, ClientId(3)), value: Value::from("during") },
+        );
+        assert!(s.handle_at(write, 10).is_empty(), "deferred while blocked");
+        // The next message past the lease unparks the write; it completes in the old
+        // epoch, and the piggy-backed read sees normal service again.
+        let replies = s.handle_at(inbound(3, ConfigEpoch(0), ProtoMsg::AbdReadQuery), 2_000_000);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies.iter().find(|r| r.msg_id == 2).unwrap().reply, ProtoReply::Ack);
+        assert!(matches!(
+            replies.iter().find(|r| r.msg_id == 3).unwrap().reply,
+            ProtoReply::AbdTagValue { .. }
+        ));
+        // A late finish from the silent controller is refused: its snapshot predates
+        // the write accepted after expiry.
+        let mut new_config = Configuration::abd_majority(dcs(3), 1);
+        new_config.epoch = ConfigEpoch(1);
+        let finish = ProtoMsg::FinishReconfig {
+            highest_tag: Tag::INITIAL,
+            new_config: Box::new(new_config.clone()),
+        };
+        let replies = s.handle_at(inbound(4, ConfigEpoch(0), finish.clone()), 3_000_000);
+        assert!(matches!(
+            replies[0].reply,
+            ProtoReply::Error(StoreError::ReconfigStalled { epoch: ConfigEpoch(1), round: 4 })
+        ));
+        // A fresh query re-arms the attempt; its finish is then accepted.
+        s.handle_at(inbound(5, ConfigEpoch(0), reconfig_query(1)), 3_000_000);
+        let replies = s.handle_at(inbound(6, ConfigEpoch(0), finish), 3_100_000);
+        assert!(replies.iter().any(|r| r.msg_id == 6 && r.reply == ProtoReply::Ack));
+        let state = s.key_state(&Key::from("k"), ConfigEpoch(0)).unwrap();
+        assert!(matches!(state.status, KeyStatus::Retired { .. }));
+    }
+
+    #[test]
+    fn duplicate_reconfig_query_rearms_the_lease() {
+        let mut s = abd_server_with_key();
+        s.set_epoch_lease_ns(1_000_000);
+        s.handle_at(inbound(1, ConfigEpoch(0), reconfig_query(1)), 0);
+        // A controller retry at t=900µs pushes the expiry out to t=1.9ms.
+        s.handle_at(inbound(2, ConfigEpoch(0), reconfig_query(1)), 900_000);
+        let replies = s.handle_at(inbound(3, ConfigEpoch(0), ProtoMsg::AbdReadQuery), 1_500_000);
+        assert!(replies.is_empty(), "lease re-armed; still blocked and deferring");
+    }
+
+    #[test]
+    fn retired_epoch_still_answers_controller_reads() {
+        let mut s = abd_server_with_key();
+        s.handle(inbound(1, ConfigEpoch(0), reconfig_query(1)));
+        let mut new_config = Configuration::abd_majority(dcs(3), 1);
+        new_config.epoch = ConfigEpoch(1);
+        s.handle(inbound(
+            2,
+            ConfigEpoch(0),
+            ProtoMsg::FinishReconfig {
+                highest_tag: Tag::INITIAL,
+                new_config: Box::new(new_config.clone()),
+            },
+        ));
+        // Client traffic against the retired epoch is redirected…
+        let replies = s.handle(inbound(3, ConfigEpoch(0), ProtoMsg::AbdReadQuery));
+        assert!(matches!(replies[0].reply, ProtoReply::OperationFail { .. }));
+        // …but a second controller attempt can still re-read the frozen state and
+        // re-finish idempotently.
+        let replies = s.handle(inbound(4, ConfigEpoch(0), reconfig_query(1)));
+        assert!(matches!(replies[0].reply, ProtoReply::AbdTagValue { .. }));
+        let replies = s.handle(inbound(
+            5,
+            ConfigEpoch(0),
+            ProtoMsg::FinishReconfig {
+                highest_tag: Tag::INITIAL,
+                new_config: Box::new(new_config),
+            },
+        ));
+        assert_eq!(replies[0].reply, ProtoReply::Ack);
+    }
+
+    #[test]
+    fn replies_echo_the_request_epoch() {
+        let mut s = abd_server_with_key();
+        let replies = s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::AbdReadQuery));
+        assert_eq!(replies[0].epoch, ConfigEpoch(0));
+    }
+
+    #[test]
+    fn retired_epochs_are_pruned_to_a_bounded_tail() {
+        let mut s = abd_server_with_key();
+        // Walk the key through three reconfigurations, epoch 0 → 1 → 2 → 3.
+        for e in 0u64..3 {
+            let mut next = Configuration::abd_majority(dcs(3), 1);
+            next.epoch = ConfigEpoch(e + 1);
+            s.handle(inbound(10 + e, ConfigEpoch(e), reconfig_query(e + 1)));
+            s.install_key(
+                Key::from("k"),
+                next.clone(),
+                Tag::INITIAL,
+                ReconfigPayload::Value(Value::from("moved")),
+            );
+            s.handle(inbound(
+                20 + e,
+                ConfigEpoch(e),
+                ProtoMsg::FinishReconfig {
+                    highest_tag: Tag::INITIAL,
+                    new_config: Box::new(next),
+                },
+            ));
+        }
+        // Only the active epoch and the most recent retired one survive.
+        assert!(s.key_state(&Key::from("k"), ConfigEpoch(0)).is_none());
+        assert!(s.key_state(&Key::from("k"), ConfigEpoch(1)).is_none());
+        assert!(s.key_state(&Key::from("k"), ConfigEpoch(2)).is_some());
+        assert!(s.key_state(&Key::from("k"), ConfigEpoch(3)).is_some());
     }
 
     #[test]
@@ -711,7 +1018,7 @@ mod tests {
             Tag::new(6, ClientId(4)),
             ReconfigPayload::Shard(vec![0u8; 16].into()),
         );
-        let replies = s.handle(inbound(1, ConfigEpoch(0), ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(1) }));
+        let replies = s.handle(inbound(1, ConfigEpoch(0), reconfig_query(1)));
         assert_eq!(replies[0].reply, ProtoReply::TagOnly { tag: Tag::new(6, ClientId(4)) });
         // ReconfigGet returns the stored shard for that tag.
         let replies = s.handle(inbound(2, ConfigEpoch(0), ProtoMsg::ReconfigGet { tag: Tag::new(6, ClientId(4)) }));

@@ -130,6 +130,11 @@ pub enum Frame {
         service_ns: u64,
         /// Echoed protocol phase.
         phase: u8,
+        /// Configuration epoch the request carried (echoed back). Clients use this to
+        /// discard stragglers from an epoch they have already abandoned after a
+        /// reconfiguration redirect — attempt ids alone cannot distinguish "slow reply
+        /// from this attempt" from "reply minted under a retired configuration".
+        epoch: ConfigEpoch,
         /// Reply body.
         reply: ProtoReply,
     },
@@ -173,13 +178,14 @@ impl Frame {
                 w.u8(FRAME_REQUEST);
                 put_inbound(&mut w, inbound);
             }
-            Frame::Reply { endpoint, from, sent_at_ns, service_ns, phase, reply } => {
+            Frame::Reply { endpoint, from, sent_at_ns, service_ns, phase, epoch, reply } => {
                 w.u8(FRAME_REPLY);
                 w.u64(*endpoint);
                 w.u16(from.0);
                 w.u64(*sent_at_ns);
                 w.u64(*service_ns);
                 w.u8(*phase);
+                w.u64(epoch.0);
                 put_reply(&mut w, reply);
             }
             Frame::Control(ctrl) => {
@@ -214,6 +220,7 @@ impl Frame {
                 sent_at_ns: r.u64()?,
                 service_ns: r.u64()?,
                 phase: r.u8()?,
+                epoch: ConfigEpoch(r.u64()?),
                 reply: get_reply(&mut r)?,
             },
             FRAME_CONTROL => Frame::Control(get_control(&mut r)?),
@@ -546,6 +553,11 @@ fn put_error(w: &mut Writer, e: &StoreError) {
             w.u8(12);
             w.str(msg);
         }
+        StoreError::ReconfigStalled { epoch, round } => {
+            w.u8(13);
+            w.u64(epoch.0);
+            w.u8(*round);
+        }
     }
 }
 
@@ -570,6 +582,7 @@ fn get_error(r: &mut Reader) -> WireResult<StoreError> {
         10 => StoreError::MetadataUnavailable(get_key(r)?),
         11 => StoreError::Transport(r.string()?),
         12 => StoreError::Internal(r.string()?),
+        13 => StoreError::ReconfigStalled { epoch: ConfigEpoch(r.u64()?), round: r.u8()? },
         tag => return Err(WireError::UnknownTag { what: "StoreError", tag }),
     })
 }
@@ -618,9 +631,9 @@ fn put_msg(w: &mut Writer, m: &ProtoMsg) {
             w.u8(6);
             put_tag(w, *tag);
         }
-        ProtoMsg::ReconfigQuery { new_epoch } => {
+        ProtoMsg::ReconfigQuery { new_config } => {
             w.u8(7);
-            w.u64(new_epoch.0);
+            put_config(w, new_config);
         }
         ProtoMsg::ReconfigGet { tag } => {
             w.u8(8);
@@ -649,7 +662,7 @@ fn get_msg(r: &mut Reader) -> WireResult<ProtoMsg> {
         4 => ProtoMsg::CasPreWrite { tag: get_tag(r)?, shard: r.bytes()? },
         5 => ProtoMsg::CasFinalizeWrite { tag: get_tag(r)? },
         6 => ProtoMsg::CasFinalizeRead { tag: get_tag(r)? },
-        7 => ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(r.u64()?) },
+        7 => ProtoMsg::ReconfigQuery { new_config: Box::new(get_config(r)?) },
         8 => ProtoMsg::ReconfigGet { tag: get_tag(r)? },
         9 => ProtoMsg::ReconfigWrite {
             tag: get_tag(r)?,
@@ -870,6 +883,7 @@ mod tests {
             sent_at_ns: 123_456_789,
             service_ns: 42_000,
             phase: 2,
+            epoch: ConfigEpoch(7),
             reply: ProtoReply::Error(StoreError::QuorumUnreachable {
                 attempts: 4,
                 last: Box::new(StoreError::QuorumTimeout { needed: 3, received: 1 }),
@@ -931,6 +945,7 @@ mod tests {
             sent_at_ns: 0,
             service_ns: 0,
             phase: 0,
+            epoch: ConfigEpoch(0),
             reply: ProtoReply::CasShard { tag: Tag::INITIAL, shard: Some(Bytes::new()) },
         });
     }

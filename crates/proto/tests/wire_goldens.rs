@@ -69,6 +69,7 @@ fn reply(body: ProtoReply) -> Frame {
         sent_at_ns: 987_654_321,
         service_ns: 55_000,
         phase: 3,
+        epoch: ConfigEpoch(7),
         reply: body,
     }
 }
@@ -110,7 +111,7 @@ fn catalog() -> Vec<(&'static str, Frame)> {
         ("req/CasFinalizeRead", request(ProtoMsg::CasFinalizeRead { tag })),
         (
             "req/ReconfigQuery",
-            request(ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(8) }),
+            request(ProtoMsg::ReconfigQuery { new_config: Box::new(sample_config()) }),
         ),
         ("req/ReconfigGet", request(ProtoMsg::ReconfigGet { tag })),
         (
@@ -211,6 +212,13 @@ fn catalog() -> Vec<(&'static str, Frame)> {
             "rep/Error/Transport",
             reply(ProtoReply::Error(StoreError::Transport("conn reset".into()))),
         ),
+        (
+            "rep/Error/ReconfigStalled",
+            reply(ProtoReply::Error(StoreError::ReconfigStalled {
+                epoch: ConfigEpoch(6),
+                round: 2,
+            })),
+        ),
         ("rep/Error/Internal", reply(ProtoReply::Error(StoreError::Internal("bug".into())))),
         (
             "ctl/InstallKey",
@@ -239,8 +247,9 @@ fn catalog() -> Vec<(&'static str, Frame)> {
 
 /// Golden fingerprints, index-aligned with [`catalog`]. Recorded from the first
 /// implementation of the codec and regenerated (a deliberate wire-format break) when
-/// replies gained `service_ns` and the stats-scrape frames were added; a mismatch
-/// means the wire format changed.
+/// replies gained `service_ns`, when the stats-scrape frames were added, and when
+/// replies gained the `epoch` stamp / `ReconfigQuery` grew a full configuration for the
+/// epoch-lease failover; a mismatch means the wire format changed.
 #[rustfmt::skip]
 const GOLDEN: &[u64] = &[
     0xf74c910f7cbfc6f7, // req/AbdReadQuery
@@ -252,31 +261,32 @@ const GOLDEN: &[u64] = &[
     0x305fc59a12ffbeb4, // req/CasPreWrite/empty
     0xc5f4635b9fd6a453, // req/CasFinalizeWrite
     0xdf79a58f7c5cbc4a, // req/CasFinalizeRead
-    0x27fa3b1440d88e7e, // req/ReconfigQuery
+    0x56ae640a40f53f8a, // req/ReconfigQuery
     0xd5eb723faec2dc84, // req/ReconfigGet
     0x3ef02130a0f04fdf, // req/ReconfigWrite/value
     0xf822cadd652110fb, // req/ReconfigWrite/shard
     0xb7063d0110ee92ea, // req/FinishReconfig
-    0xe6f88fce4eee69db, // rep/AbdTagValue
-    0x6e5be568c1b75a6b, // rep/TagOnly
-    0xbbc97c1ce534c609, // rep/Ack
-    0x771c9ef83b75f4e0, // rep/CasShard/some
-    0x603563f55d2ada77, // rep/CasShard/empty
-    0x4b07af9d70d442f8, // rep/CasShard/none
-    0xd6df337bbcefa875, // rep/OperationFail
-    0x0c8abaacf60fcdfc, // rep/Error/KeyAlreadyExists
-    0xcfc3ae8ae9635191, // rep/Error/KeyNotFound
-    0x6749e90219467747, // rep/Error/QuorumTimeout
-    0xca04aa9f718ce325, // rep/Error/QuorumUnreachable
-    0x634e81c53d175390, // rep/Error/TooManyFailures
-    0x5e61d4402a4c4443, // rep/Error/StaleConfiguration
-    0x638a1ac0cb15bd84, // rep/Error/OperationFailedByReconfig
-    0x67de531559ff405d, // rep/Error/InvalidConfiguration
-    0x6463c7326a4ef935, // rep/Error/DecodeFailed
-    0xfec1fc7b41218ae9, // rep/Error/NotAHost
-    0x6eab64afaa9f0b3e, // rep/Error/MetadataUnavailable
-    0xf6b91ac3ce556067, // rep/Error/Transport
-    0x65d49855fcb2dd67, // rep/Error/Internal
+    0x8a639c4e85609fa0, // rep/AbdTagValue
+    0x006ff4757743c9c6, // rep/TagOnly
+    0xbb63134d70339964, // rep/Ack
+    0x0a9e29f9cd1dc841, // rep/CasShard/some
+    0x991aa95626ab322c, // rep/CasShard/empty
+    0x5d3c33ee7cc30f8b, // rep/CasShard/none
+    0x484a22069327e15a, // rep/OperationFail
+    0x9039e2bc07815109, // rep/Error/KeyAlreadyExists
+    0xcd00cede142d9714, // rep/Error/KeyNotFound
+    0x6d6d99202c79985c, // rep/Error/QuorumTimeout
+    0x72374b7b328b1460, // rep/Error/QuorumUnreachable
+    0x360bf07b5547e247, // rep/Error/TooManyFailures
+    0x3af89e006812f194, // rep/Error/StaleConfiguration
+    0x4fcede4b5c8628d7, // rep/Error/OperationFailedByReconfig
+    0x7a50a542c5bc379c, // rep/Error/InvalidConfiguration
+    0x34f6ab0e28103ca2, // rep/Error/DecodeFailed
+    0xea1917b5065024b4, // rep/Error/NotAHost
+    0xbbc077ed9b2c5c53, // rep/Error/MetadataUnavailable
+    0xbd6bfd5f7e33b1a4, // rep/Error/Transport
+    0x328182e11b914d96, // rep/Error/ReconfigStalled
+    0x5a092bd911eb701e, // rep/Error/Internal
     0xa7d92f4b2918d366, // ctl/InstallKey
     0xd62b7f6cf3295d78, // ctl/RemoveKey
     0x342d4d9f036d76d2, // ctl/SetFailed
@@ -391,7 +401,7 @@ impl Rng {
     }
 
     fn error(&mut self, depth: u32) -> StoreError {
-        match self.below(if depth == 0 { 12 } else { 13 }) {
+        match self.below(if depth == 0 { 13 } else { 14 }) {
             0 => StoreError::KeyAlreadyExists(Key::new(self.string(12))),
             1 => StoreError::KeyNotFound(Key::new(self.string(12))),
             2 => StoreError::QuorumTimeout {
@@ -416,6 +426,10 @@ impl Rng {
             9 => StoreError::MetadataUnavailable(Key::new(self.string(8))),
             10 => StoreError::Transport(self.string(20)),
             11 => StoreError::Internal(self.string(20)),
+            12 => StoreError::ReconfigStalled {
+                epoch: ConfigEpoch(self.next()),
+                round: self.next() as u8,
+            },
             _ => StoreError::QuorumUnreachable {
                 attempts: self.next() as u32,
                 last: Box::new(self.error(depth - 1)),
@@ -432,7 +446,7 @@ impl Rng {
             4 => ProtoMsg::CasPreWrite { tag: self.tag(), shard: self.bytes(2048) },
             5 => ProtoMsg::CasFinalizeWrite { tag: self.tag() },
             6 => ProtoMsg::CasFinalizeRead { tag: self.tag() },
-            7 => ProtoMsg::ReconfigQuery { new_epoch: ConfigEpoch(self.next()) },
+            7 => ProtoMsg::ReconfigQuery { new_config: Box::new(self.config()) },
             8 => ProtoMsg::ReconfigGet { tag: self.tag() },
             9 => {
                 let data = if self.below(2) == 0 {
@@ -501,6 +515,7 @@ impl Rng {
                 sent_at_ns: self.next(),
                 service_ns: self.next(),
                 phase: self.next() as u8,
+                epoch: ConfigEpoch(self.below(1000)),
                 reply: self.reply(),
             },
             2 => Frame::Control(self.control()),

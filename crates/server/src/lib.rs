@@ -77,6 +77,15 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
     };
 
     let mut server = DcServer::new(dc);
+    // Epoch-lease expiry runs on the same process-local clock as the reply timestamps.
+    // Disabled unless configured: a standalone server has no deployment-wide op timeout
+    // to derive a default from, so the driver (or operator) must opt in.
+    if let Some(ms) = std::env::var("LEGOSTORE_EPOCH_LEASE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        server.set_epoch_lease_ns(ms.saturating_mul(1_000_000));
+    }
     // Write halves of live connections, and endpoint → (connection, last-seen stamp).
     let mut conns: HashMap<u64, TcpStream> = HashMap::new();
     let mut routes: HashMap<u64, (u64, u64)> = HashMap::new();
@@ -116,7 +125,7 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
                 metrics.bytes_in.add(wire_bytes);
                 let (msg_kind, phase) = (inbound.msg.kind_index(), inbound.phase);
                 let handled_at = Instant::now();
-                let replies = server.handle(inbound);
+                let replies = server.handle_at(inbound, epoch.elapsed().as_nanos() as u64);
                 let service_ns = handled_at.elapsed().as_nanos() as u64;
                 metrics.on_request(msg_kind, phase, service_ns, replies.len() as u64);
                 for r in replies {
@@ -132,6 +141,7 @@ pub fn serve(dc: DcId, listener: TcpListener) -> io::Result<()> {
                         sent_at_ns: epoch.elapsed().as_nanos() as u64,
                         service_ns,
                         phase: r.phase,
+                        epoch: r.epoch,
                         reply: r.reply,
                     };
                     // Encode once: the same buffer is written and counted.

@@ -9,7 +9,7 @@ use legostore_proto::reconfig::{ControllerProgress, ReconfigController};
 use legostore_proto::server::{DcServer, Inbound};
 use legostore_proto::{AbdGet, AbdPut, CasGet, CasPut};
 use legostore_types::{
-    ClientId, Configuration, DcId, FaultPlan, Key, OpKind, ProtocolKind,
+    ClientId, ConfigEpoch, Configuration, DcId, FaultPlan, Key, OpKind, ProtocolKind,
     Tag, Value,
 };
 use std::cmp::Reverse;
@@ -35,6 +35,12 @@ pub struct SimOptions {
     pub controller_dc: DcId,
     /// Hard stop for the virtual clock (ms); events beyond it are not processed.
     pub max_time_ms: f64,
+    /// Epoch lease (virtual ms): how long a server keeps requests parked for a
+    /// reconfiguration whose `FinishReconfig` never arrives before re-activating the
+    /// old epoch and draining them there. `None` derives 16 × `op_timeout_ms` — twice
+    /// the controller's own give-up horizon of 8 resends, so a live controller always
+    /// finishes or abandons the transfer before any server gives up on it.
+    pub epoch_lease_ms: Option<f64>,
 }
 
 impl Default for SimOptions {
@@ -47,6 +53,7 @@ impl Default for SimOptions {
             max_timeout_retries: 2,
             controller_dc: DcId(7), // Los Angeles in the gcp9 model
             max_time_ms: f64::INFINITY,
+            epoch_lease_ms: None,
         }
     }
 }
@@ -98,6 +105,16 @@ impl ClientOp {
             ClientOp::CasGet(o) => o.on_reply(from, phase, reply),
         }
     }
+
+    /// The tag this PUT committed to in its query phase, if it got that far (`None` for
+    /// GETs). A restart that crosses an epoch must pin it — see [`Simulation::retry_op`].
+    fn chosen_tag(&self) -> Option<Tag> {
+        match self {
+            ClientOp::AbdPut(o) => o.chosen_tag(),
+            ClientOp::CasPut(o) => o.chosen_tag(),
+            ClientOp::AbdGet(_) | ClientOp::CasGet(_) => None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -141,11 +158,16 @@ enum Event {
         token: u64,
         from: DcId,
         phase: u8,
+        epoch: ConfigEpoch,
         reply: ProtoReply,
     },
     OpTimeout {
         token: u64,
         attempt: u32,
+    },
+    ReconfigTimeout {
+        token: u64,
+        resends: u32,
     },
     StartReconfig {
         key: Key,
@@ -195,10 +217,16 @@ impl Simulation {
 
     /// Creates a simulator with explicit options.
     pub fn with_options(model: CloudModel, options: SimOptions) -> Self {
+        let lease_ns =
+            (options.epoch_lease_ms.unwrap_or(options.op_timeout_ms * 16.0) * 1e6) as u64;
         let servers = model
             .dc_ids()
             .into_iter()
-            .map(|d| (d, DcServer::new(d)))
+            .map(|d| {
+                let mut server = DcServer::new(d);
+                server.set_epoch_lease_ns(lease_ns);
+                (d, server)
+            })
             .collect();
         Simulation {
             model,
@@ -446,7 +474,7 @@ impl Simulation {
             } => self.start_request(origin, kind, key, value_size),
             Event::DeliverToServer { to, inbound } => {
                 let Some(server) = self.servers.get_mut(&to) else { return };
-                let replies = server.handle(inbound);
+                let replies = server.handle_at(inbound, self.now_us * 1000);
                 for reply in replies {
                     let dest_dc = self.endpoint_dc(reply.to);
                     let bytes = reply.reply.wire_size(self.options.metadata_bytes);
@@ -471,6 +499,7 @@ impl Simulation {
                                 token: reply.to,
                                 from: to,
                                 phase: reply.phase,
+                                epoch: reply.epoch,
                                 reply: reply.reply.clone(),
                             },
                         );
@@ -481,6 +510,7 @@ impl Simulation {
                             token: reply.to,
                             from: to,
                             phase: reply.phase,
+                            epoch: reply.epoch,
                             reply: reply.reply,
                         },
                     );
@@ -490,15 +520,17 @@ impl Simulation {
                 token,
                 from,
                 phase,
+                epoch,
                 reply,
             } => {
                 if self.ops.contains_key(&token) {
-                    self.op_reply(token, from, phase, reply);
+                    self.op_reply(token, from, phase, epoch, reply);
                 } else if self.reconfigs.contains_key(&token) {
                     self.reconfig_reply(token, from, phase, reply);
                 }
             }
             Event::OpTimeout { token, attempt } => self.op_timeout(token, attempt),
+            Event::ReconfigTimeout { token, resends } => self.reconfig_timeout(token, resends),
             Event::StartReconfig { key, new_config } => self.start_reconfig(key, new_config),
             Event::RetryOp { token } => self.retry_op(token),
             Event::SetDcFailed { dc, failed } => {
@@ -557,6 +589,37 @@ impl Simulation {
                 };
                 ClientOp::CasGet(CasGet::new(key.clone(), config.clone(), origin, cache))
             }
+        }
+    }
+
+    /// Builds a PUT resumed at its write phase with `tag` pinned (cross-epoch restart).
+    fn build_resumed_put(
+        &mut self,
+        origin: DcId,
+        key: &Key,
+        config: &Configuration,
+        tag: Tag,
+        value: &Value,
+    ) -> ClientOp {
+        let client_id = ClientId(self.next_client_id);
+        self.next_client_id += 1;
+        match config.protocol {
+            ProtocolKind::Abd => ClientOp::AbdPut(AbdPut::resume_write(
+                key.clone(),
+                config.clone(),
+                origin,
+                client_id,
+                tag,
+                value.clone(),
+            )),
+            ProtocolKind::Cas => ClientOp::CasPut(CasPut::resume_write(
+                key.clone(),
+                config.clone(),
+                origin,
+                client_id,
+                tag,
+                value.clone(),
+            )),
         }
     }
 
@@ -649,9 +712,13 @@ impl Simulation {
         });
     }
 
-    fn op_reply(&mut self, token: u64, from: DcId, phase: u8, reply: ProtoReply) {
+    fn op_reply(&mut self, token: u64, from: DcId, phase: u8, epoch: ConfigEpoch, reply: ProtoReply) {
         let Some(op) = self.ops.get_mut(&token) else { return };
-        if op.awaiting_retry {
+        // Servers stamp every reply with the epoch of the request it answers, so a reply
+        // from another epoch is a straggler of an abandoned attempt — the attempt counter
+        // alone can't catch it, because a resumed PUT keeps its phase numbers across the
+        // restart. Redirects still pass: they echo the (then-current) request epoch.
+        if op.awaiting_retry || op.config.epoch != epoch {
             return;
         }
         let origin = op.origin;
@@ -713,6 +780,13 @@ impl Simulation {
     }
 
     /// Restarts a pending operation against its (possibly refreshed) configuration.
+    ///
+    /// A PUT that already chose its tag does not restart from scratch: rebuilding the
+    /// state machine would re-query and install the same value under a fresh tag — one
+    /// write with two linearization points, visible as new→old→new to concurrent
+    /// readers once the old-tagged copy was transferred by a reconfiguration. Instead
+    /// the new attempt resumes at the write phase with the tag pinned; servers at or
+    /// below their transfer floor absorb the replay as a no-op.
     fn retry_op(&mut self, token: u64) {
         let Some(op) = self.ops.get(&token) else { return };
         if op.reconfig_retries + op.timeout_retries > 8 {
@@ -726,7 +800,10 @@ impl Simulation {
             op.config.clone(),
             op.value.clone(),
         );
-        let new_op = self.build_op(origin, kind, &key, &config, value.as_ref());
+        let new_op = match (op.op.chosen_tag(), value.as_ref()) {
+            (Some(tag), Some(v)) => self.build_resumed_put(origin, &key, &config, tag, v),
+            _ => self.build_op(origin, kind, &key, &config, value.as_ref()),
+        };
         let msgs = new_op.start();
         if let Some(op) = self.ops.get_mut(&token) {
             op.op = new_op;
@@ -782,6 +859,29 @@ impl Simulation {
             },
         );
         self.send_outbound(token, self.options.controller_dc, msgs);
+        self.push_event(
+            self.now_ms() + self.options.op_timeout_ms,
+            Event::ReconfigTimeout { token, resends: 0 },
+        );
+    }
+
+    /// Controller fault handling, mirroring `Cluster::reconfigure`: every round is
+    /// idempotent at the servers, so an op-timeout without completion re-sends the
+    /// current round in full. After 8 resends the controller gives up (the threaded
+    /// runtime's `ReconfigStalled`); the metadata still points at the old
+    /// configuration, and the blocked servers re-activate on their epoch lease.
+    fn reconfig_timeout(&mut self, token: u64, resends: u32) {
+        let Some(rc) = self.reconfigs.get_mut(&token) else { return };
+        if resends >= 8 {
+            self.reconfigs.remove(&token);
+            return;
+        }
+        let msgs = rc.controller.resend_current_round();
+        self.send_outbound(token, self.options.controller_dc, msgs);
+        self.push_event(
+            self.now_ms() + self.options.op_timeout_ms,
+            Event::ReconfigTimeout { token, resends: resends + 1 },
+        );
     }
 
     fn reconfig_reply(&mut self, token: u64, from: DcId, phase: u8, reply: ProtoReply) {

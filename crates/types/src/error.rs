@@ -74,6 +74,18 @@ pub enum StoreError {
     MetadataUnavailable(Key),
     /// Transport-level failure (channel closed, node shut down).
     Transport(String),
+    /// A reconfiguration could not complete: one of the controller's rounds failed to
+    /// assemble a quorum across every retry (more than `f` data centers of the old or
+    /// new placement stayed unreachable). The transfer is parked, not half-applied —
+    /// old-configuration servers stay authoritative until their epoch lease expires,
+    /// and a later `reconfigure` call may finish the move.
+    ReconfigStalled {
+        /// Epoch of the configuration that was being installed.
+        epoch: ConfigEpoch,
+        /// Controller round that stalled: 1 = query, 2 = collect, 3 = write-new,
+        /// 4 = finish.
+        round: u8,
+    },
     /// An internal invariant was violated; indicates a bug.
     Internal(String),
 }
@@ -105,6 +117,16 @@ impl std::fmt::Display for StoreError {
             StoreError::NotAHost { dc, key } => write!(f, "{dc} does not host key {key}"),
             StoreError::MetadataUnavailable(k) => write!(f, "metadata unavailable for key {k}"),
             StoreError::Transport(msg) => write!(f, "transport error: {msg}"),
+            StoreError::ReconfigStalled { epoch, round } => {
+                let name = match round {
+                    1 => "query",
+                    2 => "collect",
+                    3 => "write-new",
+                    4 => "finish",
+                    _ => "unknown",
+                };
+                write!(f, "reconfiguration to {epoch} stalled in {name} round (round {round})")
+            }
             StoreError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -162,5 +184,10 @@ mod tests {
         };
         assert!(!terminal.is_retryable());
         assert!(terminal.to_string().contains("4 attempts"));
+        // A stalled transfer is the controller's terminal verdict for this call; the
+        // caller decides whether to re-run `reconfigure`, so it is not auto-retryable.
+        let stalled = StoreError::ReconfigStalled { epoch: ConfigEpoch(5), round: 2 };
+        assert!(!stalled.is_retryable());
+        assert!(stalled.to_string().contains("collect"));
     }
 }

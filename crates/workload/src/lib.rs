@@ -30,7 +30,8 @@ pub mod wikipedia;
 pub use fault::{generate_fault_plan, FaultMenu, FaultPlanSpec};
 pub use grid::{basic_workloads, client_distribution, ClientDistribution};
 pub use scenario::{
-    correlated_outage_plan, diurnal_schedule, flash_crowd_schedule, pick_outage_region, Region,
+    correlated_outage_plan, diurnal_schedule, flash_crowd_schedule, pick_outage_region,
+    reconfig_storm_plan, reconfig_storm_times, Region,
 };
 pub use spec::{ReadRatio, WorkloadSpec};
 pub use trace::{Request, TraceGenerator};

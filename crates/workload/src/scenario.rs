@@ -11,7 +11,11 @@
 //!   re-originate at one data center (the "everyone piles onto one region" event);
 //! * [`correlated_outage_plan`] — a whole geographic [`Region`] failing at once
 //!   (crash + restart for every DC in the region), the correlated-failure case a
-//!   single-DC fault plan never produces.
+//!   single-DC fault plan never produces;
+//! * [`reconfig_storm_times`] / [`reconfig_storm_plan`] — the reconfiguration-storm
+//!   scenario: epoch changes deliberately raced against live traffic while a seeded
+//!   within-`f` fault plan attacks the transfer from both the old and the new
+//!   placement.
 //!
 //! Both schedule transforms are monotone time-warps of the base trace, so they conserve
 //! the total request count *exactly* (the property the campaign proptests pin): a
@@ -20,6 +24,7 @@
 //! inside the window) change. Determinism: everything derives from the spec, the seed
 //! and closed-form math; the same inputs yield byte-identical schedules.
 
+use crate::fault::{generate_fault_plan, FaultPlanSpec};
 use crate::spec::WorkloadSpec;
 use crate::trace::{Request, TraceGenerator};
 use legostore_cloud::GcpLocation;
@@ -210,6 +215,45 @@ pub fn correlated_outage_plan(
     Some(FaultPlan { seed, events }.sorted())
 }
 
+/// The flip instants of a reconfiguration storm: `flips` epoch changes spread evenly
+/// through the middle half of the run (`[0.25, 0.75] × duration_ms`), so every epoch
+/// — including the first and the last — sees client traffic on both sides of its
+/// boundary. Deterministic and closed-form; pair each instant with the target
+/// configuration of your choice (the canonical storm alternates ABD ↔ CAS).
+pub fn reconfig_storm_times(duration_ms: f64, flips: usize) -> Vec<f64> {
+    assert!(flips >= 1, "a storm needs at least one reconfiguration");
+    if flips == 1 {
+        return vec![0.5 * duration_ms];
+    }
+    (0..flips)
+        .map(|i| duration_ms * (0.25 + 0.5 * i as f64 / (flips - 1) as f64))
+        .collect()
+}
+
+/// The fault plan of a reconfig-storm cell: a seeded within-`f` plan whose victims are
+/// drawn from the *union* of every placement the storm touches — old- and new-epoch
+/// hosts are both fair game, so crash/partition windows land on the transfer's source
+/// and destination alike — while `max_concurrent_faulted() ≤ f` still holds by
+/// construction. `universe` is the full deployment (clients included), used for
+/// partition cuts and lossy-link peers exactly as in [`FaultPlanSpec`].
+pub fn reconfig_storm_plan(
+    placements: &[Vec<DcId>],
+    universe: Vec<DcId>,
+    f: usize,
+    duration_ms: f64,
+    seed: u64,
+) -> FaultPlan {
+    let mut dcs: Vec<DcId> = placements.iter().flatten().copied().collect();
+    dcs.sort();
+    dcs.dedup();
+    let mut spec = FaultPlanSpec::for_placement(dcs, f, duration_ms);
+    spec.universe = universe;
+    // One more window than the default: a storm run is long enough, and a transfer
+    // racing a fault is the whole point of the family.
+    spec.windows = 4;
+    generate_fault_plan(&spec, seed)
+}
+
 /// Deterministically picks a region whose outage `placement` (with tolerance `f`) can
 /// ride out, rotating by `seed` so different campaign cells exercise different regions.
 /// Returns `None` only if *every* region overlaps the placement in more than `f` DCs
@@ -339,6 +383,46 @@ mod tests {
             .filter(|e| matches!(e.kind, FaultKind::RestartDc { .. }))
             .count();
         assert_eq!(restarts, crashes);
+    }
+
+    #[test]
+    fn storm_times_stay_in_the_middle_half_and_are_ordered() {
+        for flips in 1..6 {
+            let times = reconfig_storm_times(10_000.0, flips);
+            assert_eq!(times.len(), flips);
+            for w in times.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(times.first().unwrap() >= &2_500.0);
+            assert!(times.last().unwrap() <= &7_500.0);
+        }
+    }
+
+    #[test]
+    fn storm_plan_attacks_the_union_within_f() {
+        let old = vec![GcpLocation::Tokyo.dc(), GcpLocation::LosAngeles.dc(), GcpLocation::Oregon.dc()];
+        let new = vec![
+            GcpLocation::Singapore.dc(),
+            GcpLocation::Frankfurt.dc(),
+            GcpLocation::Virginia.dc(),
+            GcpLocation::LosAngeles.dc(),
+            GcpLocation::Oregon.dc(),
+        ];
+        let universe: Vec<DcId> = Region::ALL.iter().flat_map(|r| r.dcs()).collect();
+        for seed in 0..16 {
+            let plan = reconfig_storm_plan(
+                &[old.clone(), new.clone()],
+                universe.clone(),
+                1,
+                9_000.0,
+                seed,
+            );
+            assert!(plan.max_concurrent_faulted() <= 1, "seed {seed}: {plan:?}");
+            assert_eq!(
+                plan,
+                reconfig_storm_plan(&[old.clone(), new.clone()], universe.clone(), 1, 9_000.0, seed)
+            );
+        }
     }
 
     #[test]

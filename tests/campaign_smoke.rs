@@ -15,6 +15,7 @@ fn tier_budgets_hold_their_promises() {
         ScenarioFamily::FlashCrowd,
         ScenarioFamily::RegionOutage,
         ScenarioFamily::ProtocolFlip,
+        ScenarioFamily::ReconfigStorm,
     ] {
         assert!(
             ci.iter().any(|c| c.family == family),
@@ -37,6 +38,7 @@ fn one_cell_per_scenario_family_runs_green() {
         ScenarioFamily::FlashCrowd,
         ScenarioFamily::RegionOutage,
         ScenarioFamily::ProtocolFlip,
+        ScenarioFamily::ReconfigStorm,
     ] {
         let cell = cells.iter().find(|c| c.family == family).unwrap();
         let out = run_cell(cell);
